@@ -1,0 +1,106 @@
+package sora_test
+
+import (
+	"io"
+	"testing"
+
+	"sora/internal/experiment"
+)
+
+// The benchmarks below regenerate every table and figure of the paper at
+// a reduced duration scale (so a full `go test -bench=.` stays in the
+// minutes range). Each iteration performs the complete experiment —
+// cluster deployment, workload replay, model estimation, comparison —
+// and reports the wall cost of regenerating that artifact. For the
+// full-length runs and the human-readable output, use:
+//
+//	go run ./cmd/sorabench -exp all
+//
+// benchScale compresses run durations; the experiment code floors each
+// run at 20 simulated seconds so results stay meaningful (though noisier
+// than the full-length runs recorded in EXPERIMENTS.md).
+const benchScale = 0.06
+
+func benchParams() experiment.Params {
+	return experiment.Params{
+		Seed:          1,
+		DurationScale: benchScale,
+		Quiet:         true,
+	}
+}
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := experiment.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := benchParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(p, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig01 regenerates Figure 1: Kubernetes HPA vs Sora on the
+// Catalogue DB connection pool during scale-out.
+func BenchmarkFig01(b *testing.B) { runExperiment(b, "fig1") }
+
+// BenchmarkFig03 regenerates Figure 3: the six goodput-vs-allocation
+// sweep panels (threads and connections under varying thresholds,
+// CPU limits, and request weights).
+func BenchmarkFig03(b *testing.B) { runExperiment(b, "fig3") }
+
+// BenchmarkFig04 regenerates Figure 4: response-time histograms of the
+// 4-core Cart at 30 vs 80 threads.
+func BenchmarkFig04(b *testing.B) { runExperiment(b, "fig4") }
+
+// BenchmarkFig07 regenerates Figure 7: the concurrency-goodput scatter
+// under two response-time thresholds.
+func BenchmarkFig07(b *testing.B) { runExperiment(b, "fig7") }
+
+// BenchmarkFig09 regenerates Figure 9: SCG estimation plus validation
+// sweeps for Cart threads, Catalogue DB connections and Post Storage
+// request connections.
+func BenchmarkFig09(b *testing.B) { runExperiment(b, "fig9") }
+
+// BenchmarkFig10 regenerates Figure 10: FIRM vs Sora timelines under the
+// Steep Tri Phase trace.
+func BenchmarkFig10(b *testing.B) { runExperiment(b, "fig10") }
+
+// BenchmarkFig11 regenerates Figure 11: ConScale vs Sora timelines under
+// the Large Variation trace.
+func BenchmarkFig11(b *testing.B) { runExperiment(b, "fig11") }
+
+// BenchmarkFig12 regenerates Figure 12: Kubernetes HPA vs Sora under
+// request-type drift on Post Storage.
+func BenchmarkFig12(b *testing.B) { runExperiment(b, "fig12") }
+
+// BenchmarkTable1 regenerates Table 1: SCG estimation MAPE across
+// sampling intervals for the three studied services.
+func BenchmarkTable1(b *testing.B) { runExperiment(b, "table1") }
+
+// BenchmarkTable2 regenerates Table 2: FIRM vs Sora tail latency and
+// goodput across the six bursty traces.
+func BenchmarkTable2(b *testing.B) { runExperiment(b, "table2") }
+
+// BenchmarkTable3 regenerates Table 3: ConScale vs Sora goodput across
+// the six traces at two SLAs.
+func BenchmarkTable3(b *testing.B) { runExperiment(b, "table3") }
+
+// BenchmarkAblationSCGvsSCT isolates the goodput-vs-throughput model
+// choice on identical hardware scaling.
+func BenchmarkAblationSCGvsSCT(b *testing.B) { runExperiment(b, "ablation-model") }
+
+// BenchmarkAblationPropagation isolates deadline propagation against a
+// static SLA threshold.
+func BenchmarkAblationPropagation(b *testing.B) { runExperiment(b, "ablation-deadline") }
+
+// BenchmarkAblationDegree isolates the Kneedle smoothing-degree tuner.
+func BenchmarkAblationDegree(b *testing.B) { runExperiment(b, "ablation-degree") }
+
+// BenchmarkAblationLocalization isolates PCC+utilization critical-service
+// localization against utilization-only ranking.
+func BenchmarkAblationLocalization(b *testing.B) { runExperiment(b, "ablation-localize") }

@@ -1,0 +1,94 @@
+// Command probe is a calibration scratchpad: it sweeps Cart thread-pool
+// sizes under closed-loop load and prints goodput against several
+// response-time thresholds, to verify the substrate reproduces the knee
+// phenomena of Figure 3 before the SCG model is built on top.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"sora/internal/cluster"
+	"sora/internal/sim"
+	"sora/internal/topology"
+	"sora/internal/workload"
+)
+
+func runCart(cores float64, threads, users int, alpha, scale float64, bursty bool, dur time.Duration) (map[time.Duration]float64, float64, float64) {
+	k := sim.NewKernel(42)
+	cfg := topology.DefaultSockShop()
+	cfg.CartCores = cores
+	cfg.CartThreads = threads
+	cfg.CartDemandScale = scale
+	app := topology.SockShop(cfg)
+	for i := range app.Services {
+		if app.Services[i].Name == topology.Cart {
+			app.Services[i].Overhead = alpha
+		}
+	}
+	app.Mix = topology.CartOnlyMix(app)
+	c, err := cluster.New(k, app, cluster.Options{})
+	if err != nil {
+		panic(err)
+	}
+	target := workload.ConstantUsers(users)
+	if bursty {
+		target = workload.TraceUsers(workload.LargeVariationTrace(), dur, users)
+	}
+	cl, err := workload.NewClosedLoop(k, workload.ClosedLoopConfig{
+		Target: target,
+		Submit: func(done func()) { c.SubmitMixWith(done) },
+	})
+	if err != nil {
+		panic(err)
+	}
+	cl.Start()
+	k.RunUntil(sim.Time(dur))
+	cl.Stop()
+	end := k.Now()
+	k.Run()
+	warm := sim.Time(10 * time.Second)
+	out := map[time.Duration]float64{}
+	for _, th := range []time.Duration{50 * time.Millisecond, 100 * time.Millisecond, 150 * time.Millisecond, 250 * time.Millisecond} {
+		out[th] = c.Completions().GoodputRate(warm, end, th)
+	}
+	svc, _ := c.Service(topology.Cart)
+	util := svc.CumulativeWork() / svc.CumulativeCapacity()
+	p95, _ := c.Completions().Percentile(95, warm, end)
+	return out, util, float64(p95) / float64(time.Millisecond)
+}
+
+func main() {
+	dur := 100 * time.Second
+	mult := 1.0
+	alpha := 0.005
+	if len(os.Args) > 1 {
+		if v, err := strconv.ParseFloat(os.Args[1], 64); err == nil {
+			mult = v
+		}
+	}
+	if len(os.Args) > 2 {
+		if v, err := strconv.ParseFloat(os.Args[2], 64); err == nil {
+			alpha = v
+		}
+	}
+	scale := 1.0
+	if len(os.Args) > 3 {
+		if v, err := strconv.ParseFloat(os.Args[3], 64); err == nil {
+			scale = v
+		}
+	}
+	bursty := len(os.Args) > 4 && os.Args[4] == "bursty"
+	for _, cores := range []float64{2, 4} {
+		users := int(1200 * cores * mult / scale)
+		fmt.Printf("== Cart cores=%.0f users=%d alpha=%.3f scale=%.1f ==\n", cores, users, alpha, scale)
+		fmt.Printf("%8s %10s %10s %10s %10s %8s %8s\n", "threads", "gp50ms", "gp100ms", "gp150ms", "gp250ms", "cpuUtil", "p95ms")
+		for _, th := range []int{3, 5, 10, 30, 80, 200} {
+			gp, util, p95 := runCart(cores, th, users, alpha, scale, bursty, dur)
+			fmt.Printf("%8d %10.0f %10.0f %10.0f %10.0f %8.2f %8.0f\n",
+				th, gp[50*time.Millisecond], gp[100*time.Millisecond], gp[150*time.Millisecond], gp[250*time.Millisecond], util, p95)
+		}
+	}
+}

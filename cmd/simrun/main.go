@@ -1,0 +1,180 @@
+// Command simrun executes a single parameterized scenario on the
+// simulated cluster and prints summary metrics — the workhorse for
+// manual calibration and exploration outside the registered experiments.
+//
+// Usage examples:
+//
+//	simrun -app sockshop -mix cart -users 950 -cart-threads 10
+//	simrun -app sockshop -mix browse -catalogue-conns 20 -trace large_variation -peak 2400
+//	simrun -app socialnetwork -mix timeline -ps-conns 15 -users 2000 -heavy
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"sora/internal/cluster"
+	"sora/internal/metrics"
+	"sora/internal/sim"
+	"sora/internal/topology"
+	"sora/internal/trace"
+	"sora/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "simrun:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		appName   = flag.String("app", "sockshop", "application: sockshop | socialnetwork")
+		mixName   = flag.String("mix", "", "mix: full (default) | cart | browse | timeline")
+		users     = flag.Int("users", 900, "closed-loop user population (constant)")
+		traceName = flag.String("trace", "", "bursty trace name (overrides -users as peak shape)")
+		peak      = flag.Int("peak", 0, "peak users for -trace (default: -users)")
+		duration  = flag.Duration("duration", 3*time.Minute, "run length (virtual time)")
+		seed      = flag.Uint64("seed", 1, "simulation seed")
+
+		cartCores   = flag.Float64("cart-cores", 2, "sock shop: cart CPU limit")
+		cartThreads = flag.Int("cart-threads", 10, "sock shop: cart thread pool")
+		catConns    = flag.Int("catalogue-conns", 15, "sock shop: catalogue DB pool")
+		psConns     = flag.Int("ps-conns", 10, "social network: connections to post-storage")
+		psCores     = flag.Float64("ps-cores", 2, "social network: post-storage CPU limit")
+		heavy       = flag.Bool("heavy", false, "social network: heavy (10-post) reads")
+
+		thresholds = flag.String("thresholds", "50ms,100ms,250ms,400ms", "comma-separated goodput thresholds")
+	)
+	flag.Parse()
+
+	var app cluster.App
+	var mix []cluster.WeightedRequest
+	switch *appName {
+	case "sockshop":
+		cfg := topology.DefaultSockShop()
+		cfg.CartCores = *cartCores
+		cfg.CartThreads = *cartThreads
+		cfg.CatalogueConns = *catConns
+		app = topology.SockShop(cfg)
+		switch *mixName {
+		case "", "full":
+			mix = app.Mix
+		case "cart":
+			mix = topology.CartOnlyMix(app)
+		case "browse":
+			mix = topology.BrowseOnlyMix(app)
+		default:
+			return fmt.Errorf("unknown sock shop mix %q", *mixName)
+		}
+	case "socialnetwork":
+		cfg := topology.DefaultSocialNetwork()
+		cfg.PostStorageConns = *psConns
+		cfg.PostStorageCores = *psCores
+		app = topology.SocialNetwork(cfg)
+		switch *mixName {
+		case "", "full":
+			mix = app.Mix
+		case "timeline":
+			mix = topology.HomeTimelineOnlyMix(*heavy)
+		default:
+			return fmt.Errorf("unknown social network mix %q", *mixName)
+		}
+	default:
+		return fmt.Errorf("unknown app %q", *appName)
+	}
+
+	k := sim.NewKernel(*seed)
+	c, err := cluster.New(k, app, cluster.Options{})
+	if err != nil {
+		return err
+	}
+	if err := c.SetMix(mix); err != nil {
+		return err
+	}
+	var e2e metrics.CompletionLog
+	c.OnComplete(func(tr *trace.Trace) { e2e.Add(k.Now(), tr.ResponseTime()) })
+
+	target := workload.ConstantUsers(*users)
+	if *traceName != "" {
+		tr, err := workload.TraceByName(*traceName)
+		if err != nil {
+			return err
+		}
+		p := *peak
+		if p <= 0 {
+			p = *users
+		}
+		target = workload.TraceUsers(tr, *duration, p)
+	}
+	loop, err := workload.NewClosedLoop(k, workload.ClosedLoopConfig{
+		Target: target,
+		Submit: func(done func()) { c.SubmitMixWith(done) },
+	})
+	if err != nil {
+		return err
+	}
+	loop.Start()
+	start := time.Now()
+	k.RunUntil(sim.Time(*duration))
+	loop.Stop()
+	k.Run()
+
+	warm := sim.Time(10 * time.Second)
+	if warm > sim.Time(*duration)/5 {
+		warm = sim.Time(*duration) / 5
+	}
+	end := sim.Time(*duration)
+
+	fmt.Printf("app=%s mix=%s duration=%v seed=%d (wall %v, %d events)\n",
+		app.Name, *mixName, *duration, *seed, time.Since(start).Round(time.Millisecond), k.Processed())
+	fmt.Printf("completed=%d dropped=%d throughput=%.0f req/s\n",
+		c.Completed(), c.Dropped(), e2e.ThroughputRate(warm, end))
+	for _, p := range []float64{50, 90, 95, 99} {
+		if v, err := e2e.Percentile(p, warm, end); err == nil {
+			fmt.Printf("p%-3.0f = %v\n", p, v.Round(time.Millisecond))
+		}
+	}
+	var ths []time.Duration
+	for _, s := range splitComma(*thresholds) {
+		d, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("bad threshold %q: %w", s, err)
+		}
+		ths = append(ths, d)
+	}
+	for _, th := range ths {
+		fmt.Printf("goodput(%v) = %.0f req/s\n", th, e2e.GoodputRate(warm, end, th))
+	}
+	fmt.Println("\nper-service CPU utilization (busy/capacity):")
+	for _, name := range c.ServiceNames() {
+		svc, err := c.Service(name)
+		if err != nil {
+			continue
+		}
+		capacity := svc.CumulativeCapacity()
+		if capacity <= 0 {
+			continue
+		}
+		fmt.Printf("  %-24s %5.1f%%  (replicas=%d cores=%g)\n",
+			name, svc.CumulativeBusy()/capacity*100, svc.Replicas(), svc.Cores())
+	}
+	return nil
+}
+
+func splitComma(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}

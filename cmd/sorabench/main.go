@@ -1,0 +1,93 @@
+// Command sorabench regenerates the tables and figures of the Sora paper
+// on the simulated cluster substrate.
+//
+// Usage:
+//
+//	sorabench -exp fig10              # one experiment
+//	sorabench -exp fig3,table2       # several
+//	sorabench -exp all               # everything
+//	sorabench -list                  # show available experiments
+//
+// Output is human-readable text (tables plus ASCII timelines); pass
+// -out DIR to also write CSV series for plotting. -scale 0.25 compresses
+// run durations for quick smoke checks (results become noisier).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"sora/internal/experiment"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "sorabench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		exp   = flag.String("exp", "", "comma-separated experiment ids, or 'all'")
+		list  = flag.Bool("list", false, "list available experiments")
+		seed  = flag.Uint64("seed", 1, "simulation seed (same seed = identical output)")
+		out   = flag.String("out", "", "directory for CSV output (optional)")
+		scale = flag.Float64("scale", 1.0, "duration scale in (0,1] for quick runs")
+		quiet = flag.Bool("quiet", false, "suppress ASCII charts")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("available experiments:")
+		for _, e := range experiment.All() {
+			fmt.Printf("  %-10s %s\n", e.ID, e.Title)
+		}
+		if *exp == "" && !*list {
+			return fmt.Errorf("pass -exp <id>[,<id>...] or -exp all")
+		}
+		return nil
+	}
+
+	params := experiment.Params{
+		Seed:          *seed,
+		OutDir:        *out,
+		DurationScale: *scale,
+		Quiet:         *quiet,
+	}
+
+	var selected []experiment.Experiment
+	if *exp == "all" {
+		selected = experiment.All()
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			id = strings.TrimSpace(id)
+			if id == "" {
+				continue
+			}
+			e, err := experiment.ByID(id)
+			if err != nil {
+				return err
+			}
+			selected = append(selected, e)
+		}
+	}
+	if len(selected) == 0 {
+		return fmt.Errorf("no experiments selected")
+	}
+
+	for _, e := range selected {
+		fmt.Printf("==================================================================\n")
+		fmt.Printf("%s — %s\n", e.ID, e.Title)
+		fmt.Printf("==================================================================\n")
+		start := time.Now()
+		if err := e.Run(params, os.Stdout); err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		fmt.Printf("[%s completed in %v wall time]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

@@ -1,0 +1,36 @@
+// Package sora is a from-scratch Go reproduction of "Sora: A Latency
+// Sensitive Approach for Microservice Soft Resource Adaptation" (Liu,
+// Wang, Zhang, Hu, Da Silva — Middleware 2023).
+//
+// The module contains:
+//
+//   - internal/core — the paper's contribution: the Scatter-Concurrency-
+//     Goodput (SCG) model, the latency-agnostic SCT baseline (ConScale),
+//     and the Sora framework (Monitoring Module, Concurrency Estimator,
+//     Reallocation Module).
+//   - internal/cluster, internal/psq, internal/sim, internal/dist — the
+//     simulated microservice cluster substituting for the paper's
+//     Kubernetes testbed: a deterministic discrete-event kernel,
+//     processor-sharing pod CPUs with multithreading overhead, thread /
+//     DB-connection / client-connection pools, and runtime hardware and
+//     soft-resource reconfiguration.
+//   - internal/topology — Sock Shop and DeathStarBench Social Network
+//     encoded as call-tree applications with calibrated demands.
+//   - internal/workload — closed-loop (RUBBoS-style) load generation and
+//     the six real-world bursty traces of the paper's evaluation.
+//   - internal/trace, internal/metrics, internal/stats, internal/knee —
+//     distributed tracing, fine-grained metrics, and the statistical
+//     estimators (Pearson, MAPE, polynomial fits, Kneedle and the goodput
+//     plateau-end detector).
+//   - internal/autoscaler — FIRM-style, Kubernetes HPA and VPA hardware
+//     baselines.
+//   - internal/experiment + cmd/sorabench — one runner per table and
+//     figure of the paper's evaluation, plus ablations.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// experiment index, and EXPERIMENTS.md for the paper-vs-measured record.
+// The benchmark harness in bench_test.go regenerates every table and
+// figure at a reduced scale:
+//
+//	go test -bench=. -benchmem
+package sora

@@ -1,0 +1,469 @@
+// Package cluster implements the simulated microservice cluster that
+// substitutes for the paper's Kubernetes testbed: services with replicated
+// instances (pods), processor-sharing CPUs with per-pod core limits,
+// thread pools, database connection pools and client-side request
+// connection pools, a request execution engine driven by call trees, and
+// runtime reconfiguration APIs for both hardware (cores, replicas) and
+// soft resources (pool sizes).
+//
+// Requests are described by RequestType execution trees: each node is one
+// service visit with request-side CPU work, downstream calls (sequential
+// or parallel) and response-side CPU work. Executing a request produces a
+// trace.Trace span tree with the same timestamps the paper's Jaeger
+// instrumentation records, feeding the warehouse the SCG model reads.
+package cluster
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"time"
+
+	"sora/internal/dist"
+	"sora/internal/metrics"
+	"sora/internal/sim"
+	"sora/internal/trace"
+)
+
+// CallNode is one service visit in a request's execution tree.
+type CallNode struct {
+	// Service is the logical service name; it must exist in the App.
+	Service string
+	// ReqWork is the CPU demand before downstream calls are issued
+	// (request-side processing). Nil means no work.
+	ReqWork dist.Distribution
+	// ResWork is the CPU demand after all downstream calls return
+	// (response-side processing). Nil means no work.
+	ResWork dist.Distribution
+	// Children are the downstream calls this visit makes.
+	Children []*CallNode
+	// Parallel dispatches all children concurrently; otherwise children
+	// are called one after another in order.
+	Parallel bool
+}
+
+// Validate checks the subtree for structural problems against the given
+// service set.
+func (n *CallNode) Validate(services map[string]bool) error {
+	if n == nil {
+		return fmt.Errorf("cluster: nil call node")
+	}
+	if !services[n.Service] {
+		return fmt.Errorf("cluster: call node references unknown service %q", n.Service)
+	}
+	for _, c := range n.Children {
+		if err := c.Validate(services); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RequestType names one kind of user request and its execution tree.
+type RequestType struct {
+	Name string
+	Root *CallNode
+}
+
+// WeightedRequest pairs a request type with its share of the workload mix.
+type WeightedRequest struct {
+	Type   *RequestType
+	Weight float64
+}
+
+// PoolKind identifies which soft resource of a service a reference or
+// reconfiguration targets.
+type PoolKind int
+
+// Soft resource kinds.
+const (
+	// PoolThreads is a server-side worker pool: it bounds the number of
+	// requests concurrently inside the service (processing or blocked on
+	// downstream calls); excess requests queue for admission. This is the
+	// SpringBoot/Tomcat thread-pool model (Cart).
+	PoolThreads PoolKind = iota + 1
+	// PoolDBConns bounds the number of concurrent downstream calls a
+	// service instance may have outstanding, while request admission
+	// itself is unbounded (asynchronous handler model — Golang Catalogue
+	// with its database/sql connection pool).
+	PoolDBConns
+	// PoolClientConns bounds the number of outstanding RPCs from this
+	// service to one specific downstream service (the Thrift ClientPool
+	// model — Home-Timeline's connections to Post Storage).
+	PoolClientConns
+)
+
+// String returns the kind name.
+func (k PoolKind) String() string {
+	switch k {
+	case PoolThreads:
+		return "threads"
+	case PoolDBConns:
+		return "db-conns"
+	case PoolClientConns:
+		return "client-conns"
+	default:
+		return fmt.Sprintf("PoolKind(%d)", int(k))
+	}
+}
+
+// ResourceRef identifies one soft resource instance in the cluster.
+type ResourceRef struct {
+	Service string
+	Kind    PoolKind
+	// Target is the downstream service for PoolClientConns; empty
+	// otherwise.
+	Target string
+}
+
+// String formats the reference for logs and experiment output.
+func (r ResourceRef) String() string {
+	if r.Kind == PoolClientConns {
+		return fmt.Sprintf("%s->%s %s", r.Service, r.Target, r.Kind)
+	}
+	return fmt.Sprintf("%s %s", r.Service, r.Kind)
+}
+
+// ServiceSpec declares one service's static configuration.
+type ServiceSpec struct {
+	Name     string
+	Replicas int     // initial pod count; minimum 1
+	Cores    float64 // per-pod CPU limit
+	// Overhead is the multithreading-efficiency penalty alpha for the
+	// pod CPU model; zero selects psq.DefaultOverhead.
+	Overhead float64
+	// ThreadPool bounds concurrent in-service requests per pod; zero
+	// means unlimited (asynchronous handler model).
+	ThreadPool int
+	// DBPool bounds concurrent downstream calls per pod; zero means
+	// unlimited.
+	DBPool int
+	// ClientPools bounds outstanding RPCs per pod per downstream service;
+	// services absent from the map are unlimited.
+	ClientPools map[string]int
+	// QueueCap bounds the per-pod admission queue for PoolThreads;
+	// zero means unbounded. Requests arriving at a full queue are dropped.
+	QueueCap int
+}
+
+// App bundles the services and workload mix of one benchmark application
+// (Sock Shop, Social Network, or a user-defined topology).
+type App struct {
+	Name     string
+	Services []ServiceSpec
+	Mix      []WeightedRequest
+}
+
+// Validate checks the app definition for consistency.
+func (a App) Validate() error {
+	if len(a.Services) == 0 {
+		return fmt.Errorf("cluster: app %q has no services", a.Name)
+	}
+	names := make(map[string]bool, len(a.Services))
+	for _, s := range a.Services {
+		if s.Name == "" {
+			return fmt.Errorf("cluster: app %q has a service with an empty name", a.Name)
+		}
+		if names[s.Name] {
+			return fmt.Errorf("cluster: app %q declares service %q twice", a.Name, s.Name)
+		}
+		names[s.Name] = true
+		if s.Replicas < 1 {
+			return fmt.Errorf("cluster: service %q needs at least 1 replica", s.Name)
+		}
+		if s.Cores <= 0 {
+			return fmt.Errorf("cluster: service %q needs a positive core limit", s.Name)
+		}
+		if s.ThreadPool < 0 || s.DBPool < 0 || s.QueueCap < 0 {
+			return fmt.Errorf("cluster: service %q has a negative pool size", s.Name)
+		}
+		for target, size := range s.ClientPools {
+			if size < 0 {
+				return fmt.Errorf("cluster: service %q client pool to %q is negative", s.Name, target)
+			}
+			_ = target
+		}
+	}
+	for _, s := range a.Services {
+		for target := range s.ClientPools {
+			if !names[target] {
+				return fmt.Errorf("cluster: service %q has a client pool to unknown service %q", s.Name, target)
+			}
+		}
+	}
+	if len(a.Mix) == 0 {
+		return fmt.Errorf("cluster: app %q has no request mix", a.Name)
+	}
+	var totalWeight float64
+	for _, wr := range a.Mix {
+		if wr.Type == nil || wr.Type.Root == nil {
+			return fmt.Errorf("cluster: app %q mix contains a nil request type", a.Name)
+		}
+		if wr.Weight < 0 {
+			return fmt.Errorf("cluster: request type %q has negative weight", wr.Type.Name)
+		}
+		totalWeight += wr.Weight
+		if err := wr.Type.Root.Validate(names); err != nil {
+			return fmt.Errorf("request type %q: %w", wr.Type.Name, err)
+		}
+	}
+	if totalWeight <= 0 {
+		return fmt.Errorf("cluster: app %q mix has zero total weight", a.Name)
+	}
+	return nil
+}
+
+// Options configures a Cluster beyond the App definition.
+type Options struct {
+	// NetworkDelay is the one-way latency added to every inter-service
+	// message. Nil models the paper's "network latency is negligible"
+	// assumption (zero delay).
+	NetworkDelay dist.Distribution
+	// Retention bounds how much completion/trace history is kept; zero
+	// selects trace.DefaultRetention.
+	Retention time.Duration
+}
+
+// Cluster is a running simulated deployment of an App.
+type Cluster struct {
+	k        *sim.Kernel
+	app      App
+	services map[string]*Service
+	order    []string // service names in App order, for deterministic iteration
+
+	warehouse *trace.Warehouse
+	e2eLog    *metrics.CompletionLog
+	perType   map[string]*metrics.CompletionLog
+
+	netDelay  dist.Distribution
+	retention time.Duration
+	rng       *rand.Rand
+	mix       []WeightedRequest
+	mixTotal  float64
+
+	nextTraceID trace.ID
+	onComplete  []func(*trace.Trace)
+
+	dropped   uint64
+	completed uint64
+	inFlight  int
+}
+
+// New deploys app onto a fresh simulated cluster driven by kernel k.
+func New(k *sim.Kernel, app App, opts Options) (*Cluster, error) {
+	if k == nil {
+		return nil, fmt.Errorf("cluster: nil kernel")
+	}
+	if err := app.Validate(); err != nil {
+		return nil, err
+	}
+	retention := opts.Retention
+	if retention <= 0 {
+		retention = trace.DefaultRetention
+	}
+	c := &Cluster{
+		k:         k,
+		app:       app,
+		services:  make(map[string]*Service, len(app.Services)),
+		warehouse: trace.NewWarehouse(retention),
+		e2eLog:    &metrics.CompletionLog{},
+		perType:   make(map[string]*metrics.CompletionLog),
+		netDelay:  opts.NetworkDelay,
+		retention: retention,
+		rng:       k.Split(0xc1),
+	}
+	for _, spec := range app.Services {
+		svc := newService(c, spec)
+		c.services[spec.Name] = svc
+		c.order = append(c.order, spec.Name)
+	}
+	if err := c.SetMix(app.Mix); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// pruneInterval is how many completions elapse between lazy housekeeping
+// passes over the metric logs. Pruning is lazy (piggybacked on request
+// completion) rather than timer-driven so that Kernel.Run terminates when
+// the workload does.
+const pruneInterval = 4096
+
+// housekeep drops metric history beyond the retention window.
+func (c *Cluster) housekeep() {
+	cutoff := c.k.Now() - c.retention
+	c.e2eLog.Prune(cutoff)
+	for _, l := range c.perType {
+		l.Prune(cutoff)
+	}
+	for _, name := range c.order {
+		c.services[name].prune(cutoff)
+	}
+}
+
+// Kernel returns the simulation kernel driving this cluster.
+func (c *Cluster) Kernel() *sim.Kernel { return c.k }
+
+// Warehouse returns the trace warehouse (the simulated Jaeger+Neo4j
+// backend).
+func (c *Cluster) Warehouse() *trace.Warehouse { return c.warehouse }
+
+// Completions returns the end-to-end completion log across all request
+// types.
+func (c *Cluster) Completions() *metrics.CompletionLog { return c.e2eLog }
+
+// TypeCompletions returns the completion log for one request type,
+// creating it on first use.
+func (c *Cluster) TypeCompletions(requestType string) *metrics.CompletionLog {
+	l, ok := c.perType[requestType]
+	if !ok {
+		l = &metrics.CompletionLog{}
+		c.perType[requestType] = l
+	}
+	return l
+}
+
+// Service returns the named service.
+func (c *Cluster) Service(name string) (*Service, error) {
+	s, ok := c.services[name]
+	if !ok {
+		return nil, fmt.Errorf("cluster: unknown service %q", name)
+	}
+	return s, nil
+}
+
+// ServiceNames returns all service names in declaration order.
+func (c *Cluster) ServiceNames() []string {
+	out := make([]string, len(c.order))
+	copy(out, c.order)
+	return out
+}
+
+// OnComplete registers a callback invoked for every completed trace.
+func (c *Cluster) OnComplete(fn func(*trace.Trace)) {
+	if fn != nil {
+		c.onComplete = append(c.onComplete, fn)
+	}
+}
+
+// SetMix replaces the workload mix used by SubmitMix. Used by the
+// system-state-drifting experiments to switch request weights (e.g. light
+// to heavy Post Storage reads) mid-run.
+func (c *Cluster) SetMix(mix []WeightedRequest) error {
+	if len(mix) == 0 {
+		return fmt.Errorf("cluster: empty mix")
+	}
+	names := make(map[string]bool, len(c.services))
+	for name := range c.services {
+		names[name] = true
+	}
+	var total float64
+	for _, wr := range mix {
+		if wr.Type == nil || wr.Type.Root == nil {
+			return fmt.Errorf("cluster: mix contains nil request type")
+		}
+		if wr.Weight < 0 {
+			return fmt.Errorf("cluster: request type %q has negative weight", wr.Type.Name)
+		}
+		if err := wr.Type.Root.Validate(names); err != nil {
+			return err
+		}
+		total += wr.Weight
+	}
+	if total <= 0 {
+		return fmt.Errorf("cluster: mix has zero total weight")
+	}
+	c.mix = mix
+	c.mixTotal = total
+	return nil
+}
+
+// SubmitMix injects one request drawn from the workload mix.
+func (c *Cluster) SubmitMix() { c.SubmitMixWith(nil) }
+
+// SubmitMixWith injects one request drawn from the workload mix and calls
+// onDone when it completes or is dropped (closed-loop generators need the
+// per-request completion signal to model user think cycles).
+func (c *Cluster) SubmitMixWith(onDone func()) {
+	r := c.rng.Float64() * c.mixTotal
+	for _, wr := range c.mix {
+		r -= wr.Weight
+		if r < 0 {
+			c.SubmitWith(wr.Type, onDone)
+			return
+		}
+	}
+	// Floating-point residue: fall through to the last type.
+	c.SubmitWith(c.mix[len(c.mix)-1].Type, onDone)
+}
+
+// Submit injects one request of the given type at the current virtual
+// time.
+func (c *Cluster) Submit(rt *RequestType) { c.SubmitWith(rt, nil) }
+
+// SubmitWith injects one request and calls onDone at its completion
+// (successful or dropped).
+func (c *Cluster) SubmitWith(rt *RequestType, onDone func()) {
+	if rt == nil || rt.Root == nil {
+		return
+	}
+	c.nextTraceID++
+	id := c.nextTraceID
+	c.inFlight++
+	c.startVisit(rt.Root, nil, 0, func(root *visit) {
+		c.inFlight--
+		if onDone != nil {
+			defer onDone()
+		}
+		if root.dropped || root.failed {
+			// Rejected at a full admission queue somewhere along the
+			// tree: counted in Dropped(), never in the completion logs
+			// or warehouse.
+			return
+		}
+		c.completed++
+		if c.completed%pruneInterval == 0 {
+			c.housekeep()
+		}
+		tr := &trace.Trace{ID: id, Type: rt.Name, Root: root.span}
+		c.warehouse.Add(tr)
+		rtime := tr.ResponseTime()
+		c.e2eLog.Add(c.k.Now(), rtime)
+		c.TypeCompletions(rt.Name).Add(c.k.Now(), rtime)
+		for _, fn := range c.onComplete {
+			fn(tr)
+		}
+	})
+}
+
+// Dropped returns the number of requests rejected by full admission
+// queues.
+func (c *Cluster) Dropped() uint64 { return c.dropped }
+
+// Completed returns the number of end-to-end completed requests.
+func (c *Cluster) Completed() uint64 { return c.completed }
+
+// InFlight returns the number of requests currently inside the system.
+func (c *Cluster) InFlight() int { return c.inFlight }
+
+// sampleDemand draws from d, treating nil as zero work.
+func (c *Cluster) sampleDemand(d dist.Distribution) time.Duration {
+	if d == nil {
+		return 0
+	}
+	return d.Sample(c.rng)
+}
+
+// withNetDelay runs fn after one network hop of latency (immediately when
+// no delay distribution is configured, avoiding event overhead).
+func (c *Cluster) withNetDelay(fn func()) {
+	if c.netDelay == nil {
+		fn()
+		return
+	}
+	d := c.netDelay.Sample(c.rng)
+	if d <= 0 {
+		fn()
+		return
+	}
+	c.k.Schedule(d, fn)
+}

@@ -1,0 +1,315 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"sora/internal/dist"
+	"sora/internal/sim"
+	"sora/internal/trace"
+)
+
+// These tests exercise the runtime reconfiguration surface under load —
+// the operations Sora's Reallocation Module performs on a live cluster.
+
+func TestSetCoresSpeedsUpInFlightWork(t *testing.T) {
+	k := sim.NewKernel(20)
+	app := twoTier(0, 0)
+	app.Services[1].Overhead = 1e-9
+	c := mustCluster(t, k, app)
+	var rts []time.Duration
+	c.OnComplete(func(tr *trace.Trace) { rts = append(rts, tr.ResponseTime()) })
+	// 8 simultaneous 8ms jobs on 2 cores: PS finishes all at ~32ms.
+	for i := 0; i < 8; i++ {
+		c.SubmitMix()
+	}
+	// Double capacity at 8ms in: remaining work halves in duration.
+	k.Schedule(8*time.Millisecond, func() {
+		if err := c.SetCores("backend", 4); err != nil {
+			t.Error(err)
+		}
+	})
+	k.Run()
+	for _, rt := range rts {
+		if rt > 26*time.Millisecond {
+			t.Errorf("RT = %v after mid-flight scale-up, want < 26ms", rt)
+		}
+	}
+	if err := c.SetCores("backend", 0); err == nil {
+		t.Error("zero cores: expected error")
+	}
+	if err := c.SetCores("ghost", 2); err == nil {
+		t.Error("unknown service: expected error")
+	}
+}
+
+func TestSetReplicasScaleUpSpreadsNewLoad(t *testing.T) {
+	k := sim.NewKernel(21)
+	c := mustCluster(t, k, twoTier(0, 0))
+	if err := c.SetReplicas("backend", 3); err != nil {
+		t.Fatal(err)
+	}
+	be, _ := c.Service("backend")
+	if be.Replicas() != 3 {
+		t.Fatalf("replicas = %d, want 3", be.Replicas())
+	}
+	for i := 0; i < 9; i++ {
+		c.SubmitMix()
+	}
+	k.Run()
+	for _, in := range be.Instances() {
+		if got := in.Stats().Completed; got != 3 {
+			t.Errorf("instance %s completed %d, want 3 (round robin)", in.ID(), got)
+		}
+	}
+}
+
+func TestSetReplicasScaleDownDrainsGracefully(t *testing.T) {
+	k := sim.NewKernel(22)
+	app := twoTier(0, 0)
+	app.Services[1].Replicas = 3
+	c := mustCluster(t, k, app)
+	be, _ := c.Service("backend")
+
+	// Put work in flight, then scale down while busy.
+	for i := 0; i < 12; i++ {
+		c.SubmitMix()
+	}
+	k.RunUntil(sim.Time(2 * time.Millisecond))
+	if err := c.SetReplicas("backend", 1); err != nil {
+		t.Fatal(err)
+	}
+	if be.Replicas() != 1 {
+		t.Errorf("non-draining replicas = %d, want 1", be.Replicas())
+	}
+	// Draining pods still exist until their work finishes.
+	if len(be.Instances()) < 1 {
+		t.Error("all instances vanished with work in flight")
+	}
+	k.Run()
+	if c.Completed() != 12 {
+		t.Errorf("completed = %d, want all 12 despite drain", c.Completed())
+	}
+	// After the drain, only the surviving pod remains.
+	if got := len(be.Instances()); got != 1 {
+		t.Errorf("instances after drain = %d, want 1", got)
+	}
+	// New work lands on the survivor.
+	c.SubmitMix()
+	k.Run()
+	if c.Completed() != 13 {
+		t.Errorf("completed = %d, want 13", c.Completed())
+	}
+}
+
+func TestSetReplicasReusesDrainingPod(t *testing.T) {
+	k := sim.NewKernel(23)
+	app := twoTier(0, 0)
+	app.Services[1].Replicas = 2
+	c := mustCluster(t, k, app)
+	be, _ := c.Service("backend")
+	// Keep a pod busy so the drain cannot complete, then scale back up:
+	// the draining pod must be re-enlisted rather than a new one added.
+	for i := 0; i < 4; i++ {
+		c.SubmitMix()
+	}
+	k.RunUntil(sim.Time(time.Millisecond))
+	if err := c.SetReplicas("backend", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetReplicas("backend", 2); err != nil {
+		t.Fatal(err)
+	}
+	if be.Replicas() != 2 {
+		t.Errorf("replicas = %d, want 2", be.Replicas())
+	}
+	if got := len(be.Instances()); got != 2 {
+		t.Errorf("instances = %d, want 2 (drained pod re-enlisted, not replaced)", got)
+	}
+	k.Run()
+	if err := c.SetReplicas("backend", 0); err == nil {
+		t.Error("zero replicas: expected error")
+	}
+}
+
+func TestSetPoolSizeGrowAdmitsQueuedWork(t *testing.T) {
+	k := sim.NewKernel(24)
+	c := mustCluster(t, k, twoTier(1, 0))
+	ref := ResourceRef{Service: "backend", Kind: PoolThreads}
+	for i := 0; i < 6; i++ {
+		c.SubmitMix()
+	}
+	// The frontend spends ~1ms before dispatching to the backend.
+	k.RunUntil(sim.Time(4 * time.Millisecond))
+	be, _ := c.Service("backend")
+	if be.QueueLength() == 0 {
+		t.Fatal("expected queued work with pool 1")
+	}
+	if err := c.SetPoolSize(ref, 6); err != nil {
+		t.Fatal(err)
+	}
+	if be.QueueLength() != 0 {
+		t.Errorf("queue length = %d after growth, want 0 (immediate admission)", be.QueueLength())
+	}
+	if be.Concurrency() != 6 {
+		t.Errorf("concurrency = %d, want 6", be.Concurrency())
+	}
+	k.Run()
+}
+
+func TestSetPoolSizeShrinkDrainsNaturally(t *testing.T) {
+	k := sim.NewKernel(25)
+	c := mustCluster(t, k, twoTier(6, 0))
+	ref := ResourceRef{Service: "backend", Kind: PoolThreads}
+	for i := 0; i < 6; i++ {
+		c.SubmitMix()
+	}
+	// The frontend spends ~1ms before dispatching to the backend.
+	k.RunUntil(sim.Time(4 * time.Millisecond))
+	be, _ := c.Service("backend")
+	if be.Concurrency() != 6 {
+		t.Fatalf("concurrency = %d, want 6", be.Concurrency())
+	}
+	// Shrink below in-flight: active slots are never revoked.
+	if err := c.SetPoolSize(ref, 2); err != nil {
+		t.Fatal(err)
+	}
+	if be.Concurrency() != 6 {
+		t.Errorf("shrink revoked active slots: concurrency = %d", be.Concurrency())
+	}
+	k.Run()
+	if c.Completed() != 6 {
+		t.Errorf("completed = %d, want 6", c.Completed())
+	}
+	// New work respects the smaller cap.
+	maxConc := 0
+	tick := k.Every(time.Millisecond, func() {
+		if q := be.Concurrency(); q > maxConc {
+			maxConc = q
+		}
+	})
+	for i := 0; i < 8; i++ {
+		c.SubmitMix()
+	}
+	k.RunUntil(k.Now() + sim.Time(time.Second))
+	tick.Stop()
+	k.Run()
+	if maxConc > 2 {
+		t.Errorf("post-shrink concurrency reached %d, cap 2", maxConc)
+	}
+}
+
+func TestSetPoolSizeClientPoolCreatesOnDemand(t *testing.T) {
+	// A client pool can be imposed at runtime on a service that started
+	// without one.
+	k := sim.NewKernel(26)
+	c := mustCluster(t, k, twoTier(0, 0))
+	ref := ResourceRef{Service: "frontend", Kind: PoolClientConns, Target: "backend"}
+	if size, err := c.PoolSize(ref); err != nil || size != 0 {
+		t.Fatalf("initial client pool = %d, %v; want 0 (unlimited)", size, err)
+	}
+	if err := c.SetPoolSize(ref, 2); err != nil {
+		t.Fatal(err)
+	}
+	be, _ := c.Service("backend")
+	maxQ := 0
+	tick := k.Every(500*time.Microsecond, func() {
+		if q := be.Concurrency(); q > maxQ {
+			maxQ = q
+		}
+	})
+	for i := 0; i < 10; i++ {
+		c.SubmitMix()
+	}
+	k.RunUntil(sim.Time(time.Second))
+	tick.Stop()
+	k.Run()
+	if maxQ > 2 {
+		t.Errorf("backend concurrency %d with runtime-imposed client pool 2", maxQ)
+	}
+	if c.Completed() != 10 {
+		t.Errorf("completed = %d, want 10", c.Completed())
+	}
+}
+
+func TestSetPoolSizeErrors(t *testing.T) {
+	k := sim.NewKernel(27)
+	c := mustCluster(t, k, twoTier(0, 0))
+	cases := []struct {
+		name string
+		ref  ResourceRef
+		size int
+	}{
+		{"unknown service", ResourceRef{Service: "ghost", Kind: PoolThreads}, 5},
+		{"negative", ResourceRef{Service: "backend", Kind: PoolThreads}, -1},
+		{"client pool no target", ResourceRef{Service: "frontend", Kind: PoolClientConns}, 5},
+		{"client pool unknown target", ResourceRef{Service: "frontend", Kind: PoolClientConns, Target: "ghost"}, 5},
+		{"unknown kind", ResourceRef{Service: "backend", Kind: PoolKind(99)}, 5},
+	}
+	for _, tt := range cases {
+		if err := c.SetPoolSize(tt.ref, tt.size); err == nil {
+			t.Errorf("%s: expected error", tt.name)
+		}
+	}
+	if _, err := c.PoolSize(ResourceRef{Service: "backend", Kind: PoolKind(99)}); err == nil {
+		t.Error("PoolSize unknown kind: expected error")
+	}
+	if _, err := c.PoolInUse(ResourceRef{Service: "ghost", Kind: PoolThreads}); err == nil {
+		t.Error("PoolInUse unknown service: expected error")
+	}
+}
+
+func TestPoolAccessorsReflectRuntimeState(t *testing.T) {
+	k := sim.NewKernel(28)
+	rt := &RequestType{
+		Name: "q",
+		Root: &CallNode{
+			Service: "api",
+			Children: []*CallNode{{
+				Service: "db",
+				ReqWork: dist.NewDeterministic(10 * time.Millisecond),
+			}},
+		},
+	}
+	app := App{
+		Name: "acc",
+		Services: []ServiceSpec{
+			{Name: "api", Replicas: 1, Cores: 4, DBPool: 3},
+			{Name: "db", Replicas: 1, Cores: 8},
+		},
+		Mix: []WeightedRequest{{Type: rt, Weight: 1}},
+	}
+	c := mustCluster(t, k, app)
+	ref := ResourceRef{Service: "api", Kind: PoolDBConns}
+	if size, _ := c.PoolSize(ref); size != 3 {
+		t.Errorf("PoolSize = %d, want 3", size)
+	}
+	for i := 0; i < 8; i++ {
+		c.SubmitMix()
+	}
+	k.RunUntil(sim.Time(time.Millisecond))
+	if inUse, _ := c.PoolInUse(ref); inUse != 3 {
+		t.Errorf("PoolInUse = %d, want pinned at 3", inUse)
+	}
+	k.Run()
+	if inUse, _ := c.PoolInUse(ref); inUse != 0 {
+		t.Errorf("PoolInUse after drain = %d, want 0", inUse)
+	}
+}
+
+func TestResourceRefString(t *testing.T) {
+	r1 := ResourceRef{Service: "cart", Kind: PoolThreads}
+	if got := r1.String(); got != "cart threads" {
+		t.Errorf("String = %q", got)
+	}
+	r2 := ResourceRef{Service: "ht", Kind: PoolClientConns, Target: "ps"}
+	if got := r2.String(); got != "ht->ps client-conns" {
+		t.Errorf("String = %q", got)
+	}
+	if PoolKind(42).String() == "" {
+		t.Error("unknown kind String empty")
+	}
+	if PoolDBConns.String() != "db-conns" {
+		t.Errorf("PoolDBConns String = %q", PoolDBConns.String())
+	}
+}

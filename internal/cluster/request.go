@@ -1,0 +1,172 @@
+package cluster
+
+import (
+	"time"
+
+	"sora/internal/sim"
+	"sora/internal/trace"
+)
+
+// visit is the execution state of one service visit (one span).
+type visit struct {
+	c    *Cluster
+	inst *Instance
+	node *CallNode
+	span *trace.Span
+
+	onDone func(*visit)
+
+	// Child-call progress.
+	childrenLeft int
+	seqNext      int
+	outstanding  int      // dispatched, not yet answered child calls
+	blockedSince sim.Time // valid while outstanding > 0
+	dropped      bool     // rejected at this service's admission queue
+	failed       bool     // a descendant call was dropped
+}
+
+// startVisit routes a call-tree node to a pod of its service and begins
+// the visit lifecycle. The parent (if any) has already recorded the
+// dispatch; onDone fires when the response leaves this service.
+func (c *Cluster) startVisit(node *CallNode, parent *visit, depth int, onDone func(*visit)) *visit {
+	svc := c.services[node.Service]
+	inst := svc.pick()
+	v := &visit{
+		c:    c,
+		inst: inst,
+		node: node,
+		span: &trace.Span{
+			Service:  node.Service,
+			Instance: inst.id,
+			Depth:    depth,
+			Arrival:  c.k.Now(),
+		},
+		onDone: onDone,
+	}
+	if parent != nil {
+		parent.span.Children = append(parent.span.Children, v.span)
+	}
+	inst.enqueue(v)
+	return v
+}
+
+// begin runs when the visit is admitted past the thread pool.
+func (v *visit) begin() {
+	v.span.Start = v.c.k.Now()
+	demand := v.c.sampleDemand(v.node.ReqWork)
+	v.inst.cpu.Submit(demand, v.childrenPhase)
+}
+
+// childrenPhase dispatches downstream calls after request-side work.
+func (v *visit) childrenPhase() {
+	v.childrenLeft = len(v.node.Children)
+	if v.childrenLeft == 0 {
+		v.responsePhase()
+		return
+	}
+	if v.node.Parallel {
+		// Dispatch all children now. Each dispatch may still wait on a
+		// connection slot independently.
+		for _, child := range v.node.Children {
+			v.dispatchChild(child)
+		}
+		return
+	}
+	v.seqNext = 0
+	v.dispatchChild(v.node.Children[v.seqNext])
+	v.seqNext++
+}
+
+// dispatchChild acquires this pod's downstream-connection slot and, if
+// configured, the per-target client-connection slot, then sends the call.
+// Slot waits happen off-CPU but count toward this service's processing
+// time (the visit is not "blocked on downstream" until the RPC is
+// actually in flight).
+func (v *visit) dispatchChild(child *CallNode) {
+	v.inst.db.acquire(func() {
+		cp, hasCP := v.inst.client[child.Service]
+		if !hasCP {
+			v.sendChild(child, func() { v.inst.db.release() })
+			return
+		}
+		cp.acquire(func() {
+			v.sendChild(child, func() {
+				cp.release()
+				v.inst.db.release()
+			})
+		})
+	})
+}
+
+// sendChild performs the network round trip and child visit; release runs
+// when the response arrives back, before continuing the parent.
+func (v *visit) sendChild(child *CallNode, release func()) {
+	v.outstanding++
+	if v.outstanding == 1 {
+		v.blockedSince = v.c.k.Now()
+	}
+	v.c.withNetDelay(func() {
+		v.c.startVisit(child, v, v.span.Depth+1, func(cv *visit) {
+			v.c.withNetDelay(func() {
+				release()
+				if cv.dropped || cv.failed {
+					v.failed = true
+				}
+				v.childAnswered()
+			})
+		})
+	})
+}
+
+// childAnswered accounts blocked time and advances sequential dispatch or
+// the join.
+func (v *visit) childAnswered() {
+	v.outstanding--
+	if v.outstanding == 0 {
+		v.span.Blocked += time.Duration(v.c.k.Now() - v.blockedSince)
+	}
+	v.childrenLeft--
+	if v.childrenLeft == 0 {
+		v.responsePhase()
+		return
+	}
+	if !v.node.Parallel && v.seqNext < len(v.node.Children) {
+		v.dispatchChild(v.node.Children[v.seqNext])
+		v.seqNext++
+	}
+}
+
+// responsePhase runs response-side CPU work and finishes the visit.
+func (v *visit) responsePhase() {
+	demand := v.c.sampleDemand(v.node.ResWork)
+	v.inst.cpu.Submit(demand, v.finish)
+}
+
+// finish stamps the span, frees the thread slot and notifies the parent.
+func (v *visit) finish() {
+	now := v.c.k.Now()
+	v.span.End = now
+	v.inst.svc.spanLog.Add(now, v.span.Duration())
+	v.inst.visitDone()
+	if v.onDone != nil {
+		fn := v.onDone
+		v.onDone = nil
+		fn(v)
+	}
+}
+
+// drop rejects the visit at a full admission queue. The span is stamped
+// with zero service time; the request is accounted as dropped, and the
+// parent (or trace completion) continues so upstream slots are not
+// leaked. Dropped root requests never reach the completion log.
+func (v *visit) drop() {
+	v.dropped = true
+	now := v.c.k.Now()
+	v.span.Start = now
+	v.span.End = now
+	if v.onDone != nil {
+		fn := v.onDone
+		v.onDone = nil
+		fn(v)
+	}
+}

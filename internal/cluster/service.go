@@ -1,0 +1,388 @@
+package cluster
+
+import (
+	"fmt"
+
+	"sora/internal/metrics"
+	"sora/internal/psq"
+	"sora/internal/sim"
+)
+
+// Service is a logical microservice with one or more pod instances.
+type Service struct {
+	c    *Cluster
+	name string
+	spec ServiceSpec
+
+	instances []*Instance
+	nextID    int // monotonic pod id counter for unique names
+	rr        int // round-robin cursor
+
+	// spanLog records every service-visit completion (span departure,
+	// span duration) — the per-service MongoDB store of the paper.
+	spanLog *metrics.CompletionLog
+}
+
+func newService(c *Cluster, spec ServiceSpec) *Service {
+	s := &Service{
+		c:       c,
+		name:    spec.Name,
+		spec:    spec,
+		spanLog: &metrics.CompletionLog{},
+	}
+	for i := 0; i < spec.Replicas; i++ {
+		s.addInstance()
+	}
+	return s
+}
+
+// Name returns the service name.
+func (s *Service) Name() string { return s.name }
+
+// Spec returns the service's current spec (pool sizes and cores reflect
+// runtime reconfiguration).
+func (s *Service) Spec() ServiceSpec { return s.spec }
+
+// SpanLog returns the per-service visit completion log.
+func (s *Service) SpanLog() *metrics.CompletionLog { return s.spanLog }
+
+// Replicas returns the number of non-draining pods.
+func (s *Service) Replicas() int {
+	n := 0
+	for _, in := range s.instances {
+		if !in.draining {
+			n++
+		}
+	}
+	return n
+}
+
+// Instances returns all pods including draining ones.
+func (s *Service) Instances() []*Instance {
+	out := make([]*Instance, len(s.instances))
+	copy(out, s.instances)
+	return out
+}
+
+func (s *Service) addInstance() *Instance {
+	in := newInstance(s, fmt.Sprintf("%s-%d", s.name, s.nextID))
+	s.nextID++
+	s.instances = append(s.instances, in)
+	return in
+}
+
+// pick selects the pod for a new request: round-robin over non-draining
+// pods, matching the default kube-proxy behaviour.
+func (s *Service) pick() *Instance {
+	n := len(s.instances)
+	for i := 0; i < n; i++ {
+		in := s.instances[s.rr%n]
+		s.rr++
+		if !in.draining {
+			return in
+		}
+	}
+	// All pods draining (replica count being reduced below in-flight
+	// work): fall back to the least-loaded pod so requests still finish.
+	best := s.instances[0]
+	for _, in := range s.instances[1:] {
+		if in.active < best.active {
+			best = in
+		}
+	}
+	return best
+}
+
+// reap removes fully drained instances.
+func (s *Service) reap() {
+	kept := s.instances[:0]
+	for _, in := range s.instances {
+		if in.draining && in.idle() {
+			continue
+		}
+		kept = append(kept, in)
+	}
+	for i := len(kept); i < len(s.instances); i++ {
+		s.instances[i] = nil
+	}
+	s.instances = kept
+}
+
+func (s *Service) prune(cutoff sim.Time) {
+	s.spanLog.Prune(cutoff)
+}
+
+// Concurrency returns the number of requests currently inside the service
+// (admitted past the thread pool, including those blocked downstream),
+// summed across pods.
+func (s *Service) Concurrency() int {
+	n := 0
+	for _, in := range s.instances {
+		n += in.active
+	}
+	return n
+}
+
+// QueueLength returns the total admission-queue length across pods.
+func (s *Service) QueueLength() int {
+	n := 0
+	for _, in := range s.instances {
+		n += len(in.queue)
+	}
+	return n
+}
+
+// Runnable returns the number of on-CPU jobs across pods.
+func (s *Service) Runnable() int {
+	n := 0
+	for _, in := range s.instances {
+		n += in.cpu.Runnable()
+	}
+	return n
+}
+
+// DBConnsInUse returns the number of busy downstream-connection slots
+// across pods.
+func (s *Service) DBConnsInUse() int {
+	n := 0
+	for _, in := range s.instances {
+		n += in.db.active
+	}
+	return n
+}
+
+// ClientConnsInUse returns the busy outstanding-RPC slots towards target
+// across pods.
+func (s *Service) ClientConnsInUse(target string) int {
+	n := 0
+	for _, in := range s.instances {
+		if p, ok := in.client[target]; ok {
+			n += p.active
+		}
+	}
+	return n
+}
+
+// CumulativeWork returns total useful core-seconds delivered across pods.
+func (s *Service) CumulativeWork() float64 {
+	var w float64
+	for _, in := range s.instances {
+		w += in.cpu.CumulativeWork()
+	}
+	return w
+}
+
+// CumulativeBusy returns total busy core-seconds (including overhead)
+// across pods — the quantity a cadvisor-style monitor reports.
+func (s *Service) CumulativeBusy() float64 {
+	var w float64
+	for _, in := range s.instances {
+		w += in.cpu.CumulativeBusy()
+	}
+	return w
+}
+
+// CumulativeCapacity returns total configured core-seconds across pods.
+func (s *Service) CumulativeCapacity() float64 {
+	var w float64
+	for _, in := range s.instances {
+		w += in.cpu.CumulativeCapacity()
+	}
+	return w
+}
+
+// Cores returns the per-pod CPU limit.
+func (s *Service) Cores() float64 { return s.spec.Cores }
+
+// TotalCores returns the CPU limit summed over non-draining pods.
+func (s *Service) TotalCores() float64 {
+	var total float64
+	for _, in := range s.instances {
+		if !in.draining {
+			total += in.cpu.Cores()
+		}
+	}
+	return total
+}
+
+// Instance is one pod of a service.
+type Instance struct {
+	svc  *Service
+	id   string
+	cpu  *psq.Server
+	meta instanceMeta
+
+	// Thread pool: bounded by cap (0 = unlimited); queue holds visits
+	// waiting for admission.
+	threadCap int
+	active    int
+	queue     []*visit
+	queueCap  int
+
+	// db limits concurrent downstream calls from this pod.
+	db pool
+	// client limits outstanding RPCs per downstream service.
+	client map[string]*pool
+
+	draining bool
+}
+
+type instanceMeta struct {
+	admitted  uint64
+	completed uint64
+	dropped   uint64
+}
+
+func newInstance(s *Service, id string) *Instance {
+	alpha := s.spec.Overhead
+	var opts []psq.Option
+	if alpha > 0 {
+		opts = append(opts, psq.WithOverhead(alpha))
+	}
+	in := &Instance{
+		svc:       s,
+		id:        id,
+		cpu:       psq.New(s.c.k, s.spec.Cores, opts...),
+		threadCap: s.spec.ThreadPool,
+		queueCap:  s.spec.QueueCap,
+		db:        pool{cap: s.spec.DBPool},
+		client:    make(map[string]*pool, len(s.spec.ClientPools)),
+	}
+	for target, size := range s.spec.ClientPools {
+		in.client[target] = &pool{cap: size}
+	}
+	return in
+}
+
+// ID returns the pod name (e.g. "cart-0").
+func (in *Instance) ID() string { return in.id }
+
+// CPU returns the pod's processor-sharing server.
+func (in *Instance) CPU() *psq.Server { return in.cpu }
+
+// Active returns the number of requests currently admitted.
+func (in *Instance) Active() int { return in.active }
+
+// QueueLen returns the admission queue length.
+func (in *Instance) QueueLen() int { return len(in.queue) }
+
+// Draining reports whether the pod is being decommissioned.
+func (in *Instance) Draining() bool { return in.draining }
+
+func (in *Instance) idle() bool {
+	return in.active == 0 && len(in.queue) == 0
+}
+
+// hasThreadCapacity reports whether a new request can be admitted now.
+func (in *Instance) hasThreadCapacity() bool {
+	return in.threadCap == 0 || in.active < in.threadCap
+}
+
+// enqueue either admits the visit or queues it for a thread slot.
+func (in *Instance) enqueue(v *visit) {
+	if in.hasThreadCapacity() && len(in.queue) == 0 {
+		in.admit(v)
+		return
+	}
+	if in.queueCap > 0 && len(in.queue) >= in.queueCap {
+		in.meta.dropped++
+		in.svc.c.dropped++
+		v.drop()
+		return
+	}
+	in.queue = append(in.queue, v)
+}
+
+// admit moves the visit into service.
+func (in *Instance) admit(v *visit) {
+	in.active++
+	in.meta.admitted++
+	v.begin()
+}
+
+// visitDone releases the thread slot and admits the next queued visit.
+func (in *Instance) visitDone() {
+	in.active--
+	in.meta.completed++
+	for len(in.queue) > 0 && in.hasThreadCapacity() {
+		next := in.queue[0]
+		copy(in.queue, in.queue[1:])
+		in.queue[len(in.queue)-1] = nil
+		in.queue = in.queue[:len(in.queue)-1]
+		in.admit(next)
+	}
+	if in.draining && in.idle() {
+		in.svc.reap()
+	}
+}
+
+// setThreadCap applies a new thread pool size, admitting queued visits if
+// the pool grew.
+func (in *Instance) setThreadCap(n int) {
+	in.threadCap = n
+	for len(in.queue) > 0 && in.hasThreadCapacity() {
+		next := in.queue[0]
+		copy(in.queue, in.queue[1:])
+		in.queue[len(in.queue)-1] = nil
+		in.queue = in.queue[:len(in.queue)-1]
+		in.admit(next)
+	}
+}
+
+// pool is a counted-slot resource with a FIFO wait list of continuations.
+// cap == 0 means unlimited.
+type pool struct {
+	cap     int
+	active  int
+	waiting []func()
+}
+
+func (p *pool) acquire(cont func()) {
+	if p.cap == 0 || p.active < p.cap {
+		p.active++
+		cont()
+		return
+	}
+	p.waiting = append(p.waiting, cont)
+}
+
+func (p *pool) release() {
+	p.active--
+	if len(p.waiting) > 0 && (p.cap == 0 || p.active < p.cap) {
+		next := p.waiting[0]
+		copy(p.waiting, p.waiting[1:])
+		p.waiting[len(p.waiting)-1] = nil
+		p.waiting = p.waiting[:len(p.waiting)-1]
+		p.active++
+		next()
+	}
+}
+
+// setCap resizes the pool, draining waiters into freed slots.
+func (p *pool) setCap(n int) {
+	p.cap = n
+	for len(p.waiting) > 0 && (p.cap == 0 || p.active < p.cap) {
+		next := p.waiting[0]
+		copy(p.waiting, p.waiting[1:])
+		p.waiting[len(p.waiting)-1] = nil
+		p.waiting = p.waiting[:len(p.waiting)-1]
+		p.active++
+		next()
+	}
+}
+
+// Stats reports per-instance lifetime counters.
+type Stats struct {
+	Admitted  uint64
+	Completed uint64
+	Dropped   uint64
+}
+
+// Stats returns the pod's lifetime counters.
+func (in *Instance) Stats() Stats {
+	return Stats{
+		Admitted:  in.meta.admitted,
+		Completed: in.meta.completed,
+		Dropped:   in.meta.dropped,
+	}
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"sora/internal/cluster"
+	"sora/internal/metrics"
+	"sora/internal/sim"
+)
+
+// This file implements the paper's second piece of stated future work
+// (section 3.3): "An automatic way to choose a proper time interval that
+// minimizes the MAPE for all types of microservices is our future
+// research."
+//
+// Without offline ground truth, estimation error cannot be measured
+// directly online; a practical proxy is split-half stability: bucket the
+// window's raw samples at a candidate interval, estimate the optimal
+// concurrency independently on each half of the window, and score the
+// candidate by the relative disagreement between the two halves (plus a
+// penalty when either half fails to produce an estimate). A too-short
+// interval yields noisy per-bucket goodput (halves disagree); a too-long
+// interval yields too few, over-averaged points (estimates blur or
+// fail). The interval with the most self-consistent estimates wins —
+// the same trade-off Table 1's MAPE column surfaces with ground truth.
+
+// DefaultIntervalCandidates are the sampling intervals Table 1 evaluates.
+func DefaultIntervalCandidates() []time.Duration {
+	return []time.Duration{
+		10 * time.Millisecond,
+		20 * time.Millisecond,
+		50 * time.Millisecond,
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		500 * time.Millisecond,
+	}
+}
+
+// IntervalScore reports how one candidate interval fared.
+type IntervalScore struct {
+	Interval time.Duration
+	// Disagreement is |estA - estB| / mean(estA, estB) between the two
+	// window halves; math.Inf(1) when either half failed.
+	Disagreement float64
+	EstimateA    float64
+	EstimateB    float64
+}
+
+// AutoInterval selects the sampling interval whose split-half estimates
+// agree best for the given resource, re-bucketing the monitor's raw
+// series (which must have been sampled at least as finely as the finest
+// candidate). It returns the winning interval and the per-candidate
+// scores, or an error when no candidate produced two estimates.
+func (m *SCGModel) AutoInterval(now sim.Time, ref cluster.ResourceRef, measured string, threshold time.Duration, candidates []time.Duration) (time.Duration, []IntervalScore, error) {
+	if len(candidates) == 0 {
+		candidates = DefaultIntervalCandidates()
+	}
+	conc, err := m.mon.Concurrency(ref)
+	if err != nil {
+		return 0, nil, err
+	}
+	svc, err := m.c.Service(measured)
+	if err != nil {
+		return 0, nil, err
+	}
+	since := now - m.cfg.Window
+	mid := since + (now-since)/2
+
+	estimateHalf := func(interval time.Duration, lo, hi sim.Time) (float64, error) {
+		qs, gps := metrics.ConcurrencyGoodputPairs(conc, svc.SpanLog(), lo, hi, interval, threshold)
+		// Halves hold half the samples: relax the pair floor accordingly.
+		if len(qs) < m.cfg.MinPairs/2 {
+			return 0, fmt.Errorf("core: %d pairs in half-window at %v", len(qs), interval)
+		}
+		bx, by, err := binPairs(qs, gps, minBinSamples)
+		if err != nil {
+			return 0, err
+		}
+		res, err := kneePlateau(bx, by, m.cfg.PlateauTolerance)
+		if err != nil {
+			return 0, err
+		}
+		return res, nil
+	}
+
+	scores := make([]IntervalScore, 0, len(candidates))
+	best := time.Duration(0)
+	bestScore := math.Inf(1)
+	for _, interval := range candidates {
+		sc := IntervalScore{Interval: interval, Disagreement: math.Inf(1)}
+		a, errA := estimateHalf(interval, since, mid)
+		b, errB := estimateHalf(interval, mid, now)
+		sc.EstimateA, sc.EstimateB = a, b
+		if errA == nil && errB == nil && a+b > 0 {
+			sc.Disagreement = math.Abs(a-b) / ((a + b) / 2)
+		}
+		scores = append(scores, sc)
+		if sc.Disagreement < bestScore {
+			best, bestScore = interval, sc.Disagreement
+		}
+	}
+	if math.IsInf(bestScore, 1) {
+		return 0, scores, fmt.Errorf("core: no candidate interval produced estimates on both window halves")
+	}
+	return best, scores, nil
+}
+
+// kneePlateau is the shared binned plateau-end estimate on pre-binned
+// points, returning the optimal concurrency.
+func kneePlateau(bx, by []float64, tolerance float64) (float64, error) {
+	smooth := movingAvg3(by)
+	peakIdx := 0
+	for i, v := range smooth {
+		if v > smooth[peakIdx] {
+			peakIdx = i
+		}
+	}
+	peak := smooth[peakIdx]
+	if peak <= 0 {
+		return 0, fmt.Errorf("core: degenerate goodput curve")
+	}
+	if tolerance <= 0 {
+		tolerance = defaultPlateauTolerance
+	}
+	end := peakIdx
+	for i := peakIdx + 1; i < len(smooth); i++ {
+		if smooth[i] < (1-tolerance)*peak {
+			break
+		}
+		end = i
+	}
+	return bx[end], nil
+}
+
+// movingAvg3 is a centered 3-point moving average (edge-clamped).
+func movingAvg3(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	for i := range xs {
+		lo, hi := i-1, i+1
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= len(xs) {
+			hi = len(xs) - 1
+		}
+		var sum float64
+		for j := lo; j <= hi; j++ {
+			sum += xs[j]
+		}
+		out[i] = sum / float64(hi-lo+1)
+	}
+	return out
+}

@@ -1,0 +1,326 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"sora/internal/cluster"
+	"sora/internal/sim"
+)
+
+// UnifiedController implements the joint optimization the paper leaves as
+// future work ("A unified controller can potentially be an ideal solution
+// for this joint optimization problem", section 4.1): instead of an
+// independent hardware autoscaler whose changes the Concurrency Adapter
+// chases one control period later, a single decision loop moves hardware
+// and soft resources together.
+//
+// The coordination rules:
+//
+//   - When deadlines are missed and the capacity behind the pool is
+//     hardware-bound, it scales the CPU ladder up AND immediately
+//     rescales the pool proportionally to the new capacity — the
+//     post-scale optimum the SCG model would otherwise need a window of
+//     fresh samples to discover.
+//   - When the system is healthy and cold, it steps the ladder down and
+//     shrinks the pool in the same action, avoiding the window where
+//     de-provisioned hardware runs with an oversized pool.
+//   - Otherwise it applies the same soft-resource policy as the
+//     independent Controller.
+type UnifiedController struct {
+	c   *cluster.Cluster
+	cfg UnifiedConfig
+
+	ticker  *sim.Ticker
+	running bool
+	started sim.Time
+	level   int
+	calm    int
+
+	events       []AdaptationEvent
+	hwChanges    int
+	errs         int
+	lastErr      error
+	shrinkStreak int
+}
+
+// UnifiedConfig configures the unified controller.
+type UnifiedConfig struct {
+	// Model drives estimation (SCG in practice). Required.
+	Model Model
+	// Managed lists the adaptable soft resources (required, the first
+	// entry is the primary knob used during coordinated scaling).
+	Managed []ManagedResource
+	// Service is the hardware-scaled microservice (required).
+	Service string
+	// Ladder is the ordered CPU-limit ladder; empty selects {2, 4}.
+	Ladder []float64
+	// SLO is the end-to-end objective that defines violation (required).
+	SLO time.Duration
+	// DownUtil and DownAfter gate hardware scale-down; zeros select 0.35
+	// and 4 calm periods.
+	DownUtil  float64
+	DownAfter int
+	// Period and Warmup as in ControllerConfig.
+	Period time.Duration
+	Warmup time.Duration
+}
+
+// NewUnified wires a unified controller to the cluster.
+func NewUnified(c *cluster.Cluster, cfg UnifiedConfig) (*UnifiedController, error) {
+	if c == nil {
+		return nil, fmt.Errorf("core: nil cluster")
+	}
+	if cfg.Model == nil {
+		return nil, fmt.Errorf("core: unified controller needs a model")
+	}
+	if len(cfg.Managed) == 0 {
+		return nil, fmt.Errorf("core: unified controller needs managed resources")
+	}
+	svc, err := c.Service(cfg.Service)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.SLO <= 0 {
+		return nil, fmt.Errorf("core: unified controller needs a positive SLO")
+	}
+	if len(cfg.Ladder) == 0 {
+		cfg.Ladder = []float64{2, 4}
+	}
+	for i := 1; i < len(cfg.Ladder); i++ {
+		if cfg.Ladder[i] <= cfg.Ladder[i-1] {
+			return nil, fmt.Errorf("core: ladder must be strictly increasing, got %v", cfg.Ladder)
+		}
+	}
+	if cfg.DownUtil <= 0 {
+		cfg.DownUtil = 0.35
+	}
+	if cfg.DownAfter <= 0 {
+		cfg.DownAfter = 4
+	}
+	if cfg.Period <= 0 {
+		cfg.Period = DefaultControlPeriod
+	}
+	if cfg.Warmup <= 0 {
+		cfg.Warmup = 60 * time.Second
+	}
+	u := &UnifiedController{c: c, cfg: cfg}
+	cores := svc.Cores()
+	for i, v := range cfg.Ladder {
+		if v <= cores {
+			u.level = i
+		}
+	}
+	return u, nil
+}
+
+// Start begins the joint control loop. Idempotent.
+func (u *UnifiedController) Start() {
+	if u.running {
+		return
+	}
+	u.running = true
+	u.started = u.c.Kernel().Now()
+	u.ticker = u.c.Kernel().Every(u.cfg.Period, u.step)
+}
+
+// Stop halts the loop.
+func (u *UnifiedController) Stop() {
+	if !u.running {
+		return
+	}
+	u.running = false
+	u.ticker.Stop()
+}
+
+// Events returns the soft-resource adaptations applied so far.
+func (u *UnifiedController) Events() []AdaptationEvent {
+	out := make([]AdaptationEvent, len(u.events))
+	copy(out, u.events)
+	return out
+}
+
+// HardwareChanges returns the number of CPU-ladder moves.
+func (u *UnifiedController) HardwareChanges() int { return u.hwChanges }
+
+// ModelErrors returns the failed-recommendation count and last error.
+func (u *UnifiedController) ModelErrors() (int, error) { return u.errs, u.lastErr }
+
+func (u *UnifiedController) step() {
+	now := u.c.Kernel().Now()
+	if now-u.started < sim.Time(u.cfg.Warmup) {
+		return
+	}
+	rec, err := u.cfg.Model.Recommend(now, u.cfg.Managed)
+	if err != nil {
+		u.errs++
+		u.lastErr = err
+		return
+	}
+	svc, err := u.c.Service(u.cfg.Service)
+	if err != nil {
+		u.errs++
+		u.lastErr = err
+		return
+	}
+	p99, perr := u.c.Completions().Percentile(99, now-sim.Time(u.cfg.Period), now)
+	violating := perr == nil && p99 > u.cfg.SLO
+
+	util := rec.BehindUtil
+	switch {
+	case violating && util >= behindUtilHigh && u.level < len(u.cfg.Ladder)-1:
+		// Coordinated scale-up: more CPU plus a proportionally larger
+		// pool in one action.
+		oldCores := u.cfg.Ladder[u.level]
+		u.level++
+		newCores := u.cfg.Ladder[u.level]
+		if err := u.c.SetCores(u.cfg.Service, newCores); err != nil {
+			u.level--
+			u.errs++
+			u.lastErr = err
+			return
+		}
+		u.hwChanges++
+		u.calm = 0
+		u.scalePoolBy(now, rec, newCores/oldCores)
+		return
+	case !violating && util <= u.cfg.DownUtil && u.level > 0:
+		u.calm++
+		if u.calm >= u.cfg.DownAfter {
+			u.calm = 0
+			oldCores := u.cfg.Ladder[u.level]
+			u.level--
+			newCores := u.cfg.Ladder[u.level]
+			if err := u.c.SetCores(u.cfg.Service, newCores); err != nil {
+				u.level++
+				u.errs++
+				u.lastErr = err
+				return
+			}
+			u.hwChanges++
+			u.scalePoolBy(now, rec, newCores/oldCores)
+			return
+		}
+	default:
+		u.calm = 0
+	}
+	// No hardware move this period: plain soft adaptation.
+	u.softAdapt(now, rec, false)
+	_ = svc
+}
+
+// scalePoolBy rescales the primary managed pool proportionally to the
+// capacity change, anchored on the larger of the model's recommendation
+// and the current setting.
+func (u *UnifiedController) scalePoolBy(now sim.Time, rec Recommendation, ratio float64) {
+	res := u.cfg.Managed[0]
+	perPod, err := u.c.PoolSize(res.Ref)
+	if err != nil {
+		u.errs++
+		u.lastErr = err
+		return
+	}
+	base := perPod
+	if rec.Resource == res.Ref && rec.OptimalConcurrency > base {
+		base = rec.OptimalConcurrency
+	}
+	target := res.Clamp(int(float64(base)*ratio + 0.5))
+	if target == perPod {
+		return
+	}
+	if err := u.c.SetPoolSize(res.Ref, target); err != nil {
+		u.errs++
+		u.lastErr = err
+		return
+	}
+	u.events = append(u.events, AdaptationEvent{
+		At:              now,
+		Resource:        res.Ref,
+		From:            perPod,
+		To:              target,
+		CriticalService: rec.CriticalService,
+		Threshold:       rec.Threshold,
+		Pairs:           rec.Pairs,
+	})
+}
+
+// softAdapt mirrors the independent Controller's adapter policy.
+func (u *UnifiedController) softAdapt(now sim.Time, rec Recommendation, afterHWChange bool) {
+	perPod, err := u.c.PoolSize(rec.Resource)
+	if err != nil {
+		u.errs++
+		u.lastErr = err
+		return
+	}
+	replicas := 1
+	if svc, err := u.c.Service(rec.Resource.Service); err == nil && svc.Replicas() > 1 {
+		replicas = svc.Replicas()
+	}
+	current := perPod * replicas
+
+	target := rec.OptimalConcurrency
+	saturated := current > 0 && rec.MaxQWindow >= 0.9*float64(current)
+	kneeAtEdge := rec.Knee.Fallback ||
+		(rec.MaxQWindow > 0 && rec.Knee.X >= 0.85*rec.MaxQWindow)
+	underPressure := saturated || rec.GoodFrac < 0.9
+	behindBound := rec.BehindUtil >= behindUtilHigh
+	switch {
+	case kneeAtEdge && underPressure && behindBound && saturated:
+		target = int(float64(current) * probeDownFactor)
+	case kneeAtEdge && underPressure && !behindBound:
+		grown := int(float64(current)*exploreFactor) + 1
+		if grown > target {
+			target = grown
+		}
+	case saturated && rec.GoodFrac < 0.9 && target >= current && !behindBound:
+		grown := int(float64(current)*exploreFactor) + 1
+		if grown > target {
+			target = grown
+		}
+	default:
+		if target < current {
+			floor := int(shrinkFloorFraction*rec.MaxQRetention + 0.999)
+			if target < floor {
+				target = floor
+			}
+		}
+	}
+	if target < current {
+		u.shrinkStreak++
+		if u.shrinkStreak < shrinkConfirm && !afterHWChange {
+			return
+		}
+	} else {
+		u.shrinkStreak = 0
+	}
+	for _, res := range u.cfg.Managed {
+		if res.Ref == rec.Resource {
+			target = res.Clamp(target)
+			break
+		}
+	}
+	if target == current {
+		return
+	}
+	newPerPod := (target + replicas - 1) / replicas
+	if newPerPod < 1 {
+		newPerPod = 1
+	}
+	if newPerPod == perPod {
+		return
+	}
+	if err := u.c.SetPoolSize(rec.Resource, newPerPod); err != nil {
+		u.errs++
+		u.lastErr = err
+		return
+	}
+	u.events = append(u.events, AdaptationEvent{
+		At:              now,
+		Resource:        rec.Resource,
+		From:            current,
+		To:              newPerPod * replicas,
+		CriticalService: rec.CriticalService,
+		Threshold:       rec.Threshold,
+		Pairs:           rec.Pairs,
+	})
+}

@@ -1,0 +1,125 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// namedSeries is one line of an ASCII chart: terminal-renderable so that
+// timeline experiments are inspectable without plotting tools. Series
+// share a y-axis; each gets its own marker.
+type namedSeries struct {
+	name   string
+	values []float64
+	mark   byte
+}
+
+// plotASCII renders the series to w. Values are downsampled (mean per
+// column) to the chart width; NaNs are skipped.
+func plotASCII(w io.Writer, title string, width, height int, series ...namedSeries) {
+	if width <= 10 {
+		width = 72
+	}
+	if height <= 2 {
+		height = 12
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	cols := make([][]float64, len(series))
+	for si, s := range series {
+		cols[si] = downsample(s.values, width)
+		for _, v := range cols[si] {
+			if math.IsNaN(v) {
+				continue
+			}
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	if math.IsInf(lo, 1) {
+		fmt.Fprintf(w, "%s: (no data)\n", title)
+		return
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, col := range cols {
+		for x, v := range col {
+			if math.IsNaN(v) {
+				continue
+			}
+			y := int(math.Round((v - lo) / (hi - lo) * float64(height-1)))
+			if y < 0 {
+				y = 0
+			}
+			if y >= height {
+				y = height - 1
+			}
+			grid[height-1-y][x] = series[si].mark
+		}
+	}
+	var legend []string
+	for _, s := range series {
+		legend = append(legend, fmt.Sprintf("%c=%s", s.mark, s.name))
+	}
+	fmt.Fprintf(w, "%s  [%s]\n", title, strings.Join(legend, " "))
+	for i, line := range grid {
+		label := ""
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%9.1f", hi)
+		case height - 1:
+			label = fmt.Sprintf("%9.1f", lo)
+		default:
+			label = strings.Repeat(" ", 9)
+		}
+		fmt.Fprintf(w, "%s |%s\n", label, string(line))
+	}
+	fmt.Fprintf(w, "%s +%s\n", strings.Repeat(" ", 9), strings.Repeat("-", width))
+}
+
+// downsample reduces values to n columns by averaging; produces NaN for
+// empty columns.
+func downsample(values []float64, n int) []float64 {
+	out := make([]float64, n)
+	if len(values) == 0 {
+		for i := range out {
+			out[i] = math.NaN()
+		}
+		return out
+	}
+	for i := 0; i < n; i++ {
+		lo := i * len(values) / n
+		hi := (i + 1) * len(values) / n
+		if hi <= lo {
+			hi = lo + 1
+		}
+		if hi > len(values) {
+			hi = len(values)
+		}
+		var sum float64
+		cnt := 0
+		for _, v := range values[lo:hi] {
+			if math.IsNaN(v) {
+				continue
+			}
+			sum += v
+			cnt++
+		}
+		if cnt == 0 {
+			out[i] = math.NaN()
+		} else {
+			out[i] = sum / float64(cnt)
+		}
+	}
+	return out
+}

@@ -1,0 +1,279 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"sora/internal/autoscaler"
+	"sora/internal/cluster"
+	"sora/internal/core"
+	"sora/internal/sim"
+	"sora/internal/topology"
+	"sora/internal/workload"
+)
+
+// strategy identifies one scaling-management configuration in the
+// comparative experiments.
+type strategy int
+
+const (
+	// stratFIRM is the hardware-only FIRM vertical scaler (no soft
+	// resource adaptation).
+	stratFIRM strategy = iota + 1
+	// stratFIRMSora is FIRM + Sora's SCG-driven concurrency adapter.
+	stratFIRMSora
+	// stratConScale is Kubernetes-VPA hardware scaling + the SCT
+	// (throughput) concurrency adapter.
+	stratConScale
+	// stratVPASora is Kubernetes-VPA hardware scaling + SCG.
+	stratVPASora
+)
+
+// String names the strategy for output.
+func (s strategy) String() string {
+	switch s {
+	case stratFIRM:
+		return "FIRM"
+	case stratFIRMSora:
+		return "Sora(FIRM)"
+	case stratConScale:
+		return "ConScale"
+	case stratVPASora:
+		return "Sora(VPA)"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// cartRunConfig parameterizes one trace-driven Cart run.
+type cartRunConfig struct {
+	strategy  strategy
+	trace     workload.Trace
+	peakUsers int
+	duration  time.Duration
+	sla       time.Duration // end-to-end SLO driving FIRM and SCG
+	seed      uint64
+	// initThreads is the starting Cart thread pool (the paper
+	// pre-profiles the 2-core optimum before each run; ours is ~10).
+	initThreads int
+	timelineInt time.Duration // 0 disables timeline recording
+	// gpThreshold is the end-to-end goodput threshold for the reported
+	// metric; zero selects goodputRTT (400 ms).
+	gpThreshold time.Duration
+}
+
+// cartRunResult carries everything the comparative tables/figures need.
+type cartRunResult struct {
+	timeline *timeline
+	events   []core.AdaptationEvent
+
+	p95, p99 time.Duration
+	goodput  float64 // against the 400ms RTT of Table 2
+	thru     float64
+}
+
+// goodputRTT is the end-to-end goodput threshold of Table 2/Figures
+// 10-12 ("Goodput (RTT=400ms)").
+const goodputRTT = 400 * time.Millisecond
+
+// runCartStrategy executes one 12-minute (scaled) trace-driven run of the
+// Cart scenario under the given strategy and returns tail latency,
+// goodput and the recorded timeline.
+func runCartStrategy(p Params, rc cartRunConfig) (*cartRunResult, error) {
+	dur := p.scale(rc.duration)
+	if rc.gpThreshold <= 0 {
+		rc.gpThreshold = goodputRTT
+	}
+	cfg := topology.DefaultSockShop()
+	cfg.CartCores = 2
+	cfg.CartThreads = rc.initThreads
+	app := topology.SockShop(cfg)
+	ref := cluster.ResourceRef{Service: topology.Cart, Kind: cluster.PoolThreads}
+
+	r, err := newRig(rigConfig{
+		seed:   rc.seed,
+		app:    app,
+		mix:    topology.CartOnlyMix(app),
+		refs:   []cluster.ResourceRef{ref},
+		target: workload.TraceUsers(rc.trace, dur, rc.peakUsers),
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Hardware scaler per strategy.
+	var hw core.HardwareScaler
+	switch rc.strategy {
+	case stratFIRM, stratFIRMSora:
+		firm, err := autoscaler.NewFIRM(r.c, autoscaler.FIRMConfig{
+			Service: topology.Cart,
+			SLO:     rc.sla,
+			Ladder:  []float64{2, 4},
+		})
+		if err != nil {
+			return nil, err
+		}
+		hw = firm
+	case stratConScale, stratVPASora:
+		vpa, err := autoscaler.NewVPA(r.c, autoscaler.VPAConfig{
+			Service:  topology.Cart,
+			MinCores: 2,
+			MaxCores: 6,
+		})
+		if err != nil {
+			return nil, err
+		}
+		hw = vpa
+	}
+
+	// Concurrency model per strategy (nil = hardware-only).
+	managed := []core.ManagedResource{{Ref: ref, Min: 2, Max: 200}}
+	var model core.Model
+	modelCfg := core.SCGConfig{SLA: rc.sla, Window: 60 * time.Second}
+	switch rc.strategy {
+	case stratFIRMSora, stratVPASora:
+		scg, err := core.NewSCG(r.c, r.mon, modelCfg)
+		if err != nil {
+			return nil, err
+		}
+		model = scg
+	case stratConScale:
+		sct, err := core.NewSCT(r.c, r.mon, modelCfg)
+		if err != nil {
+			return nil, err
+		}
+		model = sct
+	}
+
+	if model != nil {
+		if err := r.attachController(core.ControllerConfig{
+			Model:   model,
+			Scaler:  hw,
+			Managed: managed,
+			Warmup:  30 * time.Second,
+		}); err != nil {
+			return nil, err
+		}
+	} else if hw != nil {
+		// Hardware-only: drive the scaler on its own control loop.
+		r.every(core.DefaultControlPeriod, func() { hw.Step(r.k.Now()) })
+	}
+
+	// Timeline: response time (mean per tick), goodput, CPU util and
+	// limit, running threads — the four panes of Figures 10-11.
+	if rc.timelineInt > 0 {
+		tl := newTimeline(rc.timelineInt)
+		ws := newWindowStat(r.k)
+		cartSvc, err := r.c.Service(topology.Cart)
+		if err != nil {
+			return nil, err
+		}
+		var lastBusy float64
+		var lastCapacity float64
+		tl.column("rt_ms", func() float64 {
+			since, until := ws.window()
+			rts := r.c.Completions().ResponseTimes(since, until)
+			if len(rts) == 0 {
+				return 0
+			}
+			var sum float64
+			for _, v := range rts {
+				sum += v
+			}
+			return sum / float64(len(rts))
+		})
+		tl.column("goodput_rps", func() float64 {
+			now := r.k.Now()
+			return r.c.Completions().GoodputRate(now-sim.Time(rc.timelineInt), now, rc.gpThreshold)
+		})
+		tl.column("cart_cpu_util_pct", func() float64 {
+			busy := cartSvc.CumulativeBusy()
+			capacity := cartSvc.CumulativeCapacity()
+			db, dc := busy-lastBusy, capacity-lastCapacity
+			lastBusy, lastCapacity = busy, capacity
+			if dc <= 0 {
+				return 0
+			}
+			// Percent of one core, like the paper's "Pod CPU Util [%]".
+			return db / dc * cartSvc.TotalCores() * 100
+		})
+		tl.column("cart_cpu_limit_pct", func() float64 { return cartSvc.TotalCores() * 100 })
+		tl.column("threads_limit", func() float64 {
+			size, err := r.c.PoolSize(ref)
+			if err != nil {
+				return 0
+			}
+			return float64(size)
+		})
+		tl.column("threads_running", func() float64 {
+			n, err := r.c.PoolInUse(ref)
+			if err != nil {
+				return 0
+			}
+			return float64(n)
+		})
+		r.timeline = tl
+	}
+
+	r.run(dur)
+
+	warm := sim.Time(10 * time.Second)
+	end := sim.Time(dur)
+	res := &cartRunResult{timeline: r.timeline}
+	if r.ctl != nil {
+		res.events = r.ctl.Events()
+	}
+	if p95, err := r.e2e.Percentile(95, warm, end); err == nil {
+		res.p95 = p95
+	}
+	if p99, err := r.e2e.Percentile(99, warm, end); err == nil {
+		res.p99 = p99
+	}
+	res.goodput = r.e2e.GoodputRate(warm, end, rc.gpThreshold)
+	res.thru = r.e2e.ThroughputRate(warm, end)
+	return res, nil
+}
+
+// printCartTimeline renders the figure's panes as ASCII charts plus the
+// adaptation event log.
+func printCartTimeline(p Params, w io.Writer, label string, res *cartRunResult) error {
+	if res.timeline == nil {
+		return nil
+	}
+	if !p.Quiet {
+		plotASCII(w, label+" — response time [ms] & goodput [req/s]", 96, 10,
+			namedSeries{name: "rt_ms", values: res.timeline.series("rt_ms"), mark: '*'},
+			namedSeries{name: "goodput_rps", values: res.timeline.series("goodput_rps"), mark: 'o'},
+		)
+		plotASCII(w, label+" — cart CPU util vs limit [% of core]", 96, 8,
+			namedSeries{name: "util", values: res.timeline.series("cart_cpu_util_pct"), mark: '*'},
+			namedSeries{name: "limit", values: res.timeline.series("cart_cpu_limit_pct"), mark: '-'},
+		)
+		plotASCII(w, label+" — cart threads (pool limit vs running)", 96, 8,
+			namedSeries{name: "limit", values: res.timeline.series("threads_limit"), mark: '-'},
+			namedSeries{name: "running", values: res.timeline.series("threads_running"), mark: '*'},
+		)
+	}
+	if len(res.events) > 0 {
+		fmt.Fprintf(w, "%s adaptation events:\n", label)
+		for _, e := range res.events {
+			fmt.Fprintf(w, "  %s\n", e)
+		}
+	}
+	return writeCSV(p, "timeline_"+sanitize(label), res.timeline.header(), res.timeline.rows)
+}
+
+func sanitize(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+			out = append(out, c)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,130 @@
+// Package experiment contains one runner per table and figure of the
+// paper's evaluation (Figures 1, 3, 4, 7, 9-12 and Tables 1-3), plus the
+// ablation studies DESIGN.md calls out. Each runner rebuilds the paper's
+// scenario on the simulated cluster, drives it with the corresponding
+// workload, and prints the same rows/series the paper reports (and
+// optionally CSV files for plotting).
+//
+// Absolute magnitudes differ from the paper — the substrate is a
+// calibrated simulator, not the authors' VMware testbed — but each
+// runner's output is arranged so the paper's qualitative claims (who
+// wins, where knees fall, how they move) can be checked directly.
+// EXPERIMENTS.md records the paper-vs-measured comparison.
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+// Params are the common knobs of every experiment runner.
+type Params struct {
+	// Seed drives all randomness; equal seeds reproduce bit-identical
+	// output.
+	Seed uint64
+	// OutDir, when non-empty, receives one CSV per emitted series/table.
+	OutDir string
+	// DurationScale compresses every run's duration (0 < s <= 1) for
+	// smoke testing; 0 selects 1.0 (full length).
+	DurationScale float64
+	// Quiet suppresses the ASCII charts, keeping only numeric output.
+	Quiet bool
+}
+
+func (p Params) scale(d time.Duration) time.Duration {
+	s := p.DurationScale
+	if s <= 0 || s > 1 {
+		s = 1
+	}
+	scaled := time.Duration(float64(d) * s)
+	if scaled < 20*time.Second {
+		scaled = 20 * time.Second
+	}
+	if scaled > d {
+		scaled = d
+	}
+	return scaled
+}
+
+// Experiment is one reproducible table/figure runner.
+type Experiment struct {
+	// ID is the short handle used by `sorabench -exp` (e.g. "fig10").
+	ID string
+	// Title describes what the experiment reproduces.
+	Title string
+	// Run executes the experiment, writing human-readable output to w.
+	Run func(p Params, w io.Writer) error
+}
+
+var registry []Experiment
+
+func register(e Experiment) {
+	registry = append(registry, e)
+}
+
+// All returns every registered experiment, sorted by ID.
+func All() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID returns the named experiment.
+func ByID(id string) (Experiment, error) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiment: unknown id %q", id)
+}
+
+// writeCSV writes rows (with a header) to OutDir/name.csv when OutDir is
+// set; it is a no-op otherwise.
+func writeCSV(p Params, name string, header []string, rows [][]float64) error {
+	if p.OutDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(p.OutDir, 0o755); err != nil {
+		return fmt.Errorf("experiment: %w", err)
+	}
+	path := filepath.Join(p.OutDir, name+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("experiment: %w", err)
+	}
+	defer f.Close()
+	for i, h := range header {
+		if i > 0 {
+			if _, err := io.WriteString(f, ","); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(f, h); err != nil {
+			return err
+		}
+	}
+	if _, err := io.WriteString(f, "\n"); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		for i, v := range row {
+			sep := ""
+			if i > 0 {
+				sep = ","
+			}
+			if _, err := fmt.Fprintf(f, "%s%g", sep, v); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(f, "\n"); err != nil {
+			return err
+		}
+	}
+	return f.Sync()
+}

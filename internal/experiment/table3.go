@@ -1,0 +1,68 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"sora/internal/workload"
+)
+
+// Table 3 compares the goodput of ConScale (VPA + SCT) and Sora
+// (VPA + SCG) across the six traces at two SLA thresholds (the paper's
+// 250 ms and 500 ms rows).
+func init() {
+	register(Experiment{
+		ID:    "table3",
+		Title: "Table 3: ConScale vs Sora goodput over six traces at two SLAs",
+		Run:   runTable3,
+	})
+}
+
+func runTable3(p Params, w io.Writer) error {
+	slas := []time.Duration{250 * time.Millisecond, 500 * time.Millisecond}
+	var rows [][]float64
+	for _, sla := range slas {
+		fmt.Fprintf(w, "\nSLA threshold %v — goodput [req/s]\n", sla)
+		fmt.Fprintf(w, "%-18s %12s %12s %8s\n", "trace", "ConScale", "Sora", "ratio")
+		var sumRatio float64
+		n := 0
+		for ti, tr := range workload.Traces() {
+			base := cartRunConfig{
+				trace:       tr,
+				peakUsers:   1800,
+				duration:    12 * time.Minute,
+				sla:         sla,
+				seed:        p.Seed,
+				initThreads: 5,
+				gpThreshold: sla,
+			}
+			csCfg := base
+			csCfg.strategy = stratConScale
+			conscale, err := runCartStrategy(p, csCfg)
+			if err != nil {
+				return fmt.Errorf("table3 %s ConScale: %w", tr.Name, err)
+			}
+			soraCfg := base
+			soraCfg.strategy = stratVPASora
+			sora, err := runCartStrategy(p, soraCfg)
+			if err != nil {
+				return fmt.Errorf("table3 %s Sora: %w", tr.Name, err)
+			}
+			gpCS := conscale.goodput
+			gpSora := sora.goodput
+			ratio := 0.0
+			if gpCS > 0 {
+				ratio = gpSora / gpCS
+				sumRatio += ratio
+				n++
+			}
+			fmt.Fprintf(w, "%-18s %12.0f %12.0f %8.2f\n", tr.Name, gpCS, gpSora, ratio)
+			rows = append(rows, []float64{sla.Seconds() * 1000, float64(ti), gpCS, gpSora})
+		}
+		if n > 0 {
+			fmt.Fprintf(w, "average goodput ratio (Sora/ConScale): %.2fx  (paper: ~1.1-1.5x)\n", sumRatio/float64(n))
+		}
+	}
+	return writeCSV(p, "table3", []string{"sla_ms", "trace_idx", "gp_conscale_rps", "gp_sora_rps"}, rows)
+}

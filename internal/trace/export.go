@@ -1,0 +1,119 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// This file implements trace serialization in a Jaeger-inspired JSON
+// shape, standing in for the paper's "Request Tracing Management" layer
+// (OpenTracing-compliant collection into a trace warehouse). Exported
+// traces can be archived, diffed across runs, or fed to external
+// analysis tooling; Import round-trips them back into Trace values.
+
+// SpanRecord is the serialized form of one span.
+type SpanRecord struct {
+	Service   string       `json:"service"`
+	Instance  string       `json:"instance,omitempty"`
+	Depth     int          `json:"depth"`
+	ArrivalUs int64        `json:"arrival_us"`
+	StartUs   int64        `json:"start_us"`
+	EndUs     int64        `json:"end_us"`
+	BlockedUs int64        `json:"blocked_us,omitempty"`
+	Children  []SpanRecord `json:"children,omitempty"`
+}
+
+// TraceRecord is the serialized form of one trace.
+type TraceRecord struct {
+	ID   ID         `json:"id"`
+	Type string     `json:"type"`
+	Root SpanRecord `json:"root"`
+}
+
+func toRecord(s *Span) SpanRecord {
+	rec := SpanRecord{
+		Service:   s.Service,
+		Instance:  s.Instance,
+		Depth:     s.Depth,
+		ArrivalUs: int64(s.Arrival / time.Microsecond),
+		StartUs:   int64(s.Start / time.Microsecond),
+		EndUs:     int64(s.End / time.Microsecond),
+		BlockedUs: int64(s.Blocked / time.Microsecond),
+	}
+	for _, c := range s.Children {
+		rec.Children = append(rec.Children, toRecord(c))
+	}
+	return rec
+}
+
+func fromRecord(rec SpanRecord) *Span {
+	s := &Span{
+		Service:  rec.Service,
+		Instance: rec.Instance,
+		Depth:    rec.Depth,
+		Arrival:  time.Duration(rec.ArrivalUs) * time.Microsecond,
+		Start:    time.Duration(rec.StartUs) * time.Microsecond,
+		End:      time.Duration(rec.EndUs) * time.Microsecond,
+		Blocked:  time.Duration(rec.BlockedUs) * time.Microsecond,
+	}
+	for _, c := range rec.Children {
+		s.Children = append(s.Children, fromRecord(c))
+	}
+	return s
+}
+
+// Export writes the trace as one JSON object. Timestamps are microseconds
+// of virtual time (matching the paper's millisecond-granularity tracing
+// with headroom).
+func Export(w io.Writer, t *Trace) error {
+	if t == nil || t.Root == nil {
+		return fmt.Errorf("trace: cannot export empty trace")
+	}
+	rec := TraceRecord{ID: t.ID, Type: t.Type, Root: toRecord(t.Root)}
+	enc := json.NewEncoder(w)
+	return enc.Encode(rec)
+}
+
+// ExportAll writes every trace as JSON Lines (one object per line), the
+// shape bulk trace-archive tooling expects.
+func ExportAll(w io.Writer, traces []*Trace) error {
+	for i, t := range traces {
+		if err := Export(w, t); err != nil {
+			return fmt.Errorf("trace %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Import reads one JSON trace produced by Export.
+func Import(r io.Reader) (*Trace, error) {
+	var rec TraceRecord
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&rec); err != nil {
+		return nil, fmt.Errorf("trace: import: %w", err)
+	}
+	if rec.Root.Service == "" {
+		return nil, fmt.Errorf("trace: import: record has no root service")
+	}
+	return &Trace{ID: rec.ID, Type: rec.Type, Root: fromRecord(rec.Root)}, nil
+}
+
+// ImportAll reads JSON Lines until EOF.
+func ImportAll(r io.Reader) ([]*Trace, error) {
+	var out []*Trace
+	dec := json.NewDecoder(r)
+	for {
+		var rec TraceRecord
+		if err := dec.Decode(&rec); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("trace: import %d: %w", len(out), err)
+		}
+		if rec.Root.Service == "" {
+			return nil, fmt.Errorf("trace: import %d: record has no root service", len(out))
+		}
+		out = append(out, &Trace{ID: rec.ID, Type: rec.Type, Root: fromRecord(rec.Root)})
+	}
+}

@@ -1,0 +1,122 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestExportImportRoundTrip(t *testing.T) {
+	orig := chainTrace(42)
+	var buf bytes.Buffer
+	if err := Export(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Import(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != orig.ID || got.Type != orig.Type {
+		t.Errorf("id/type = %d/%q, want %d/%q", got.ID, got.Type, orig.ID, orig.Type)
+	}
+	if got.SpanCount() != orig.SpanCount() {
+		t.Fatalf("span count = %d, want %d", got.SpanCount(), orig.SpanCount())
+	}
+	if got.ResponseTime() != orig.ResponseTime() {
+		t.Errorf("response time = %v, want %v", got.ResponseTime(), orig.ResponseTime())
+	}
+	// Critical path and processing times must survive the round trip.
+	gp, op := got.CriticalPathServices(), orig.CriticalPathServices()
+	for i := range op {
+		if gp[i] != op[i] {
+			t.Fatalf("critical path = %v, want %v", gp, op)
+		}
+	}
+	gSpan, oSpan := got.FindSpan("cart"), orig.FindSpan("cart")
+	if gSpan.ProcessingTime() != oSpan.ProcessingTime() {
+		t.Errorf("cart PT = %v, want %v", gSpan.ProcessingTime(), oSpan.ProcessingTime())
+	}
+	if gSpan.Instance != oSpan.Instance {
+		t.Errorf("instance = %q, want %q", gSpan.Instance, oSpan.Instance)
+	}
+}
+
+func TestExportAllImportAll(t *testing.T) {
+	traces := []*Trace{chainTrace(1), forkTrace(2), chainTrace(3)}
+	var buf bytes.Buffer
+	if err := ExportAll(&buf, traces); err != nil {
+		t.Fatal(err)
+	}
+	// JSON Lines: one object per line.
+	if got := strings.Count(strings.TrimSpace(buf.String()), "\n") + 1; got != 3 {
+		t.Errorf("exported %d lines, want 3", got)
+	}
+	got, err := ImportAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("imported %d traces, want 3", len(got))
+	}
+	for i := range traces {
+		if got[i].ID != traces[i].ID {
+			t.Errorf("trace %d ID = %d, want %d", i, got[i].ID, traces[i].ID)
+		}
+	}
+}
+
+func TestExportEmptyTraceErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Export(&buf, nil); err == nil {
+		t.Error("nil trace: expected error")
+	}
+	if err := Export(&buf, &Trace{ID: 1}); err == nil {
+		t.Error("rootless trace: expected error")
+	}
+}
+
+func TestImportRejectsGarbage(t *testing.T) {
+	if _, err := Import(strings.NewReader("not json")); err == nil {
+		t.Error("garbage: expected error")
+	}
+	if _, err := Import(strings.NewReader(`{"id":1,"type":"x","root":{}}`)); err == nil {
+		t.Error("empty root: expected error")
+	}
+	if _, err := ImportAll(strings.NewReader(`{"id":1,"type":"x","root":{"service":"a"}}` + "\ngarbage")); err == nil {
+		t.Error("trailing garbage: expected error")
+	}
+}
+
+func TestImportAllEmptyInput(t *testing.T) {
+	got, err := ImportAll(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("imported %d traces from empty input", len(got))
+	}
+}
+
+func TestExportTimestampPrecision(t *testing.T) {
+	// Sub-microsecond precision is intentionally truncated; microseconds
+	// must be preserved exactly.
+	s := &Span{
+		Service: "svc",
+		Arrival: 1234567 * time.Microsecond,
+		Start:   1234568 * time.Microsecond,
+		End:     2234567 * time.Microsecond,
+		Blocked: 100 * time.Microsecond,
+	}
+	var buf bytes.Buffer
+	if err := Export(&buf, &Trace{ID: 9, Type: "t", Root: s}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Import(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Root.Arrival != s.Arrival || got.Root.End != s.End || got.Root.Blocked != s.Blocked {
+		t.Errorf("timestamps changed: %+v", got.Root)
+	}
+}

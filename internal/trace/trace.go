@@ -1,0 +1,185 @@
+// Package trace implements the distributed-tracing substrate of the Sora
+// reproduction: span trees recording per-service arrival/start/end
+// timestamps, an in-memory windowed trace warehouse, and critical-path
+// extraction.
+//
+// The paper's testbed uses Jaeger-style OpenTracing instrumentation with a
+// Neo4j/MongoDB trace warehouse; here the simulator records the same
+// information directly. A Trace is the tree of Spans produced by one user
+// request; each Span covers one service visit.
+package trace
+
+import (
+	"fmt"
+	"time"
+
+	"sora/internal/sim"
+)
+
+// ID uniquely identifies a trace within one simulation run.
+type ID uint64
+
+// Span records one service visit within a request's execution tree. All
+// timestamps are virtual times.
+type Span struct {
+	Service  string // logical service name (e.g. "cart")
+	Instance string // pod identity (e.g. "cart-0")
+	Depth    int    // 0 for the front-end
+
+	Arrival sim.Time // request arrived at the service (queued for admission)
+	Start   sim.Time // processing began (admitted past the soft resource)
+	End     sim.Time // response left the service
+
+	// Blocked is the total time this visit spent waiting on downstream
+	// calls (off-CPU, holding its soft-resource slot). For parallel child
+	// calls the simulator records the actual blocked wall time, not the
+	// sum of child durations.
+	Blocked time.Duration
+
+	Children []*Span
+}
+
+// Duration returns the service-visit wall time including queueing:
+// departure minus arrival.
+func (s *Span) Duration() time.Duration {
+	return time.Duration(s.End - s.Arrival)
+}
+
+// QueueTime returns the time spent waiting for admission (soft-resource
+// slot or run queue) before processing began.
+func (s *Span) QueueTime() time.Duration {
+	return time.Duration(s.Start - s.Arrival)
+}
+
+// ProcessingTime returns PT_s as defined in section 3.2 of the paper: the
+// time the service itself contributed to the request (request-side plus
+// response-side processing, including local queueing), excluding time
+// blocked on downstream services.
+func (s *Span) ProcessingTime() time.Duration {
+	pt := s.Duration() - s.Blocked
+	if pt < 0 {
+		pt = 0
+	}
+	return pt
+}
+
+// Walk visits the span and all descendants in depth-first pre-order.
+func (s *Span) Walk(fn func(*Span)) {
+	fn(s)
+	for _, c := range s.Children {
+		c.Walk(fn)
+	}
+}
+
+func (s *Span) String() string {
+	return fmt.Sprintf("%s@%s [%v,%v] pt=%v", s.Service, s.Instance, s.Arrival, s.End, s.ProcessingTime())
+}
+
+// Trace is the complete execution record of one user request.
+type Trace struct {
+	ID   ID
+	Type string // request type (e.g. "getCatalogue")
+	Root *Span
+}
+
+// ResponseTime returns the end-to-end response time of the request.
+func (t *Trace) ResponseTime() time.Duration {
+	if t.Root == nil {
+		return 0
+	}
+	return t.Root.Duration()
+}
+
+// ArrivedAt returns the virtual time the request entered the system.
+func (t *Trace) ArrivedAt() sim.Time {
+	if t.Root == nil {
+		return 0
+	}
+	return t.Root.Arrival
+}
+
+// CompletedAt returns the virtual time the response left the system.
+func (t *Trace) CompletedAt() sim.Time {
+	if t.Root == nil {
+		return 0
+	}
+	return t.Root.End
+}
+
+// SpanCount returns the number of spans in the trace.
+func (t *Trace) SpanCount() int {
+	n := 0
+	if t.Root != nil {
+		t.Root.Walk(func(*Span) { n++ })
+	}
+	return n
+}
+
+// CriticalPath returns the chain of spans of maximal duration from the
+// user request to the final response: starting at the root, it descends at
+// each node into the child with the largest wall-time duration. The
+// returned slice is ordered front-end first (depth 0 .. k).
+//
+// This matches the paper's definition ("the path of maximal duration that
+// starts with the user request and ends with the final response") and the
+// parent-child chain used by the deadline-propagation phase.
+func (t *Trace) CriticalPath() []*Span {
+	if t.Root == nil {
+		return nil
+	}
+	var path []*Span
+	cur := t.Root
+	for cur != nil {
+		path = append(path, cur)
+		var next *Span
+		var nextDur time.Duration = -1
+		for _, c := range cur.Children {
+			if d := c.Duration(); d > nextDur {
+				next = c
+				nextDur = d
+			}
+		}
+		cur = next
+	}
+	return path
+}
+
+// CriticalPathServices returns the service names along the critical path.
+func (t *Trace) CriticalPathServices() []string {
+	path := t.CriticalPath()
+	names := make([]string, len(path))
+	for i, s := range path {
+		names[i] = s.Service
+	}
+	return names
+}
+
+// FindSpan returns the first span (pre-order) for the given service, or
+// nil if the trace never visited it.
+func (t *Trace) FindSpan(service string) *Span {
+	if t.Root == nil {
+		return nil
+	}
+	var found *Span
+	t.Root.Walk(func(s *Span) {
+		if found == nil && s.Service == service {
+			found = s
+		}
+	})
+	return found
+}
+
+// UpstreamProcessing returns the sum of processing times of all services
+// strictly above the given service on the trace's critical path, i.e.
+// Σ_{k<i} PT_sk from Eq. (3) of the paper. The second return value reports
+// whether the service appears on the critical path at all.
+func (t *Trace) UpstreamProcessing(service string) (time.Duration, bool) {
+	var sum time.Duration
+	for _, s := range t.CriticalPath() {
+		if s.Service == service {
+			return sum, true
+		}
+		sum += s.ProcessingTime()
+	}
+	return 0, false
+}
