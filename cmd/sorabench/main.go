@@ -11,6 +11,14 @@
 // Output is human-readable text (tables plus ASCII timelines); pass
 // -out DIR to also write CSV series for plotting. -scale 0.25 compresses
 // run durations for quick smoke checks (results become noisier).
+//
+// Experiments execute on a bounded worker pool: independent simulations
+// (sweep points, strategy pairs, whole figures) fan out across cores, one
+// sim.Kernel per run, and results merge in deterministic order — stdout
+// is byte-identical to a serial run for the same seed. -parallel N sets
+// the pool size (default GOMAXPROCS); -serial forces one worker. Timing
+// and event-throughput diagnostics go to stderr so they never perturb the
+// experiment output.
 package main
 
 import (
@@ -32,12 +40,14 @@ func main() {
 
 func run() error {
 	var (
-		exp   = flag.String("exp", "", "comma-separated experiment ids, or 'all'")
-		list  = flag.Bool("list", false, "list available experiments")
-		seed  = flag.Uint64("seed", 1, "simulation seed (same seed = identical output)")
-		out   = flag.String("out", "", "directory for CSV output (optional)")
-		scale = flag.Float64("scale", 1.0, "duration scale in (0,1] for quick runs")
-		quiet = flag.Bool("quiet", false, "suppress ASCII charts")
+		exp      = flag.String("exp", "", "comma-separated experiment ids, or 'all'")
+		list     = flag.Bool("list", false, "list available experiments")
+		seed     = flag.Uint64("seed", 1, "simulation seed (same seed = identical output)")
+		out      = flag.String("out", "", "directory for CSV output (optional)")
+		scale    = flag.Float64("scale", 1.0, "duration scale in (0,1] for quick runs")
+		quiet    = flag.Bool("quiet", false, "suppress ASCII charts")
+		parallel = flag.Int("parallel", 0, "worker pool size for independent simulations (0 = GOMAXPROCS)")
+		serial   = flag.Bool("serial", false, "force serial execution (same as -parallel 1)")
 	)
 	flag.Parse()
 
@@ -52,11 +62,16 @@ func run() error {
 		return nil
 	}
 
+	workers := *parallel
+	if *serial {
+		workers = 1
+	}
 	params := experiment.Params{
 		Seed:          *seed,
 		OutDir:        *out,
 		DurationScale: *scale,
 		Quiet:         *quiet,
+		Parallelism:   workers,
 	}
 
 	var selected []experiment.Experiment
@@ -79,15 +94,49 @@ func run() error {
 		return fmt.Errorf("no experiments selected")
 	}
 
-	for _, e := range selected {
+	// Whole experiments are themselves independent work items: run them
+	// on the worker pool, each buffering its output, and print in
+	// selection order so stdout is identical to a serial run. Wall-clock
+	// and simulation-event throughput go to stderr.
+	experiment.ResetRunStats()
+	start := time.Now()
+	results := experiment.RunMany(params, selected)
+	wall := time.Since(start)
+
+	var firstErr error
+	for _, res := range results {
 		fmt.Printf("==================================================================\n")
-		fmt.Printf("%s — %s\n", e.ID, e.Title)
+		fmt.Printf("%s — %s\n", res.Experiment.ID, res.Experiment.Title)
 		fmt.Printf("==================================================================\n")
-		start := time.Now()
-		if err := e.Run(params, os.Stdout); err != nil {
-			return fmt.Errorf("%s: %w", e.ID, err)
+		os.Stdout.WriteString(res.Output)
+		fmt.Println()
+		if res.Err != nil {
+			fmt.Fprintf(os.Stderr, "sorabench: %s failed: %v\n", res.Experiment.ID, res.Err)
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%s: %w", res.Experiment.ID, res.Err)
+			}
+			continue
 		}
-		fmt.Printf("[%s completed in %v wall time]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(os.Stderr, "[%s completed in %v wall time, %s sim events]\n",
+			res.Experiment.ID, res.Wall.Round(time.Millisecond), fmtCount(res.Events))
 	}
-	return nil
+	runs, events := experiment.RunStats()
+	rate := float64(events) / wall.Seconds()
+	fmt.Fprintf(os.Stderr, "[total: %d experiments, %d sim runs, %s events in %v wall time — %s events/s, %d workers]\n",
+		len(results), runs, fmtCount(events), wall.Round(time.Millisecond), fmtCount(uint64(rate)), params.Workers())
+	return firstErr
+}
+
+// fmtCount renders large event counts compactly (e.g. 12.3M).
+func fmtCount(n uint64) string {
+	switch {
+	case n >= 1_000_000_000:
+		return fmt.Sprintf("%.2fG", float64(n)/1e9)
+	case n >= 1_000_000:
+		return fmt.Sprintf("%.2fM", float64(n)/1e6)
+	case n >= 10_000:
+		return fmt.Sprintf("%.1fk", float64(n)/1e3)
+	default:
+		return fmt.Sprintf("%d", n)
+	}
 }

@@ -61,18 +61,11 @@ func runAblationModel(p Params, w io.Writer) error {
 		seed:        p.Seed,
 		initThreads: 5,
 	}
-	scgCfg := base
-	scgCfg.strategy = stratVPASora
-	scg, err := runCartStrategy(p, scgCfg)
+	results, err := runCartStrategies(p, base, stratVPASora, stratConScale)
 	if err != nil {
 		return err
 	}
-	sctCfg := base
-	sctCfg.strategy = stratConScale
-	sct, err := runCartStrategy(p, sctCfg)
-	if err != nil {
-		return err
-	}
+	scg, sct := results[0], results[1]
 	fmt.Fprintf(w, "\nSLO %v, identical VPA hardware scaling, only the model differs:\n", sla)
 	fmt.Fprintf(w, "%-22s %12s %12s %16s\n", "model", "p95[ms]", "p99[ms]", "goodput[req/s]")
 	fmt.Fprintf(w, "%-22s %12.0f %12.0f %16.0f\n", "SCG (goodput knee)", scg.p95.Seconds()*1000, scg.p99.Seconds()*1000, scg.goodput)
@@ -189,16 +182,22 @@ func runAblationDeadline(p Params, w io.Writer) error {
 		vr.run(vdur)
 		return vr.e2e.GoodputRate(sim.Time(10*time.Second), sim.Time(vdur), sla), nil
 	}
-	gpProp, err := score(withProp)
-	if err != nil {
-		return err
-	}
-	gpStatic := gpProp
-	if withStatic != withProp {
-		gpStatic, err = score(withStatic)
+	// Score both settings (two independent validation runs) on the pool;
+	// identical settings need only one run.
+	gpProp, gpStatic := 0.0, 0.0
+	if withStatic == withProp {
+		if gpProp, err = score(withProp); err != nil {
+			return err
+		}
+		gpStatic = gpProp
+	} else {
+		gps, err := parMap(p, 2, func(i int) (float64, error) {
+			return score([]int{withProp, withStatic}[i])
+		})
 		if err != nil {
 			return err
 		}
+		gpProp, gpStatic = gps[0], gps[1]
 	}
 	fmt.Fprintf(w, "end-to-end goodput(SLA) with propagated-deadline setting: %.0f req/s\n", gpProp)
 	fmt.Fprintf(w, "end-to-end goodput(SLA) with static-threshold setting:    %.0f req/s\n", gpStatic)

@@ -235,6 +235,21 @@ func runCartStrategy(p Params, rc cartRunConfig) (*cartRunResult, error) {
 	return res, nil
 }
 
+// runCartStrategies executes one independent trace-driven run per
+// strategy on the worker pool, with every run deriving from the same base
+// config. Results are in strategy-argument order.
+func runCartStrategies(p Params, base cartRunConfig, strategies ...strategy) ([]*cartRunResult, error) {
+	return parMap(p, len(strategies), func(i int) (*cartRunResult, error) {
+		rc := base
+		rc.strategy = strategies[i]
+		res, err := runCartStrategy(p, rc)
+		if err != nil {
+			return nil, fmt.Errorf("%v: %w", strategies[i], err)
+		}
+		return res, nil
+	})
+}
+
 // printCartTimeline renders the figure's panes as ASCII charts plus the
 // adaptation event log.
 func printCartTimeline(p Params, w io.Writer, label string, res *cartRunResult) error {

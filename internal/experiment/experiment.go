@@ -33,6 +33,12 @@ type Params struct {
 	DurationScale float64
 	// Quiet suppresses the ASCII charts, keeping only numeric output.
 	Quiet bool
+	// Parallelism bounds the worker pool for independent simulation runs
+	// (sweep points, strategy pairs, validation cells, whole figures):
+	// 0 selects GOMAXPROCS, 1 forces serial execution. Output is
+	// bit-for-bit identical at any setting — results are collected in
+	// deterministic index order and each run owns its kernel.
+	Parallelism int
 }
 
 func (p Params) scale(d time.Duration) time.Duration {

@@ -71,7 +71,10 @@ func TestExperimentsSmoke(t *testing.T) {
 	for _, e := range All() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
-			p := Params{Seed: 1, DurationScale: 0.001, Quiet: true}
+			// Parallelism 4 exercises the worker-pool paths in every
+			// driver; output equivalence with serial mode is asserted
+			// separately in TestExperimentOutputEquivalence.
+			p := Params{Seed: 1, DurationScale: 0.001, Quiet: true, Parallelism: 4}
 			if err := e.Run(p, io.Discard); err != nil {
 				t.Fatalf("%s failed: %v", e.ID, err)
 			}

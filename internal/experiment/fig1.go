@@ -152,16 +152,20 @@ func runFig1(p Params, w io.Writer) error {
 		return o, nil
 	}
 
-	hpaOnly, err := run(false)
+	// The baseline and Sora cases are independent simulations; run both
+	// on the worker pool.
+	outcomes, err := parMap(p, 2, func(i int) (*outcome, error) {
+		o, err := run(i == 1)
+		if err != nil {
+			return nil, fmt.Errorf("fig1 %s: %w", []string{"HPA", "Sora"}[i], err)
+		}
+		o.label = []string{"fig1_HPA", "fig1_Sora"}[i]
+		return o, nil
+	})
 	if err != nil {
-		return fmt.Errorf("fig1 HPA: %w", err)
+		return err
 	}
-	hpaOnly.label = "fig1_HPA"
-	sora, err := run(true)
-	if err != nil {
-		return fmt.Errorf("fig1 Sora: %w", err)
-	}
-	sora.label = "fig1_Sora"
+	hpaOnly, sora := outcomes[0], outcomes[1]
 
 	for _, o := range []*outcome{hpaOnly, sora} {
 		if !p.Quiet {

@@ -32,19 +32,13 @@ func runFig10(p Params, w io.Writer) error {
 		timelineInt: time.Second,
 	}
 
-	firmCfg := base
-	firmCfg.strategy = stratFIRM
-	firm, err := runCartStrategy(p, firmCfg)
+	// Both strategy runs are independent simulations; run them on the
+	// worker pool.
+	results, err := runCartStrategies(p, base, stratFIRM, stratFIRMSora)
 	if err != nil {
-		return fmt.Errorf("fig10 FIRM: %w", err)
+		return fmt.Errorf("fig10: %w", err)
 	}
-
-	soraCfg := base
-	soraCfg.strategy = stratFIRMSora
-	sora, err := runCartStrategy(p, soraCfg)
-	if err != nil {
-		return fmt.Errorf("fig10 Sora: %w", err)
-	}
+	firm, sora := results[0], results[1]
 
 	if err := printCartTimeline(p, w, "fig10_FIRM", firm); err != nil {
 		return err

@@ -33,18 +33,11 @@ func runFig11(p Params, w io.Writer) error {
 		timelineInt: time.Second,
 	}
 
-	csCfg := base
-	csCfg.strategy = stratConScale
-	conscale, err := runCartStrategy(p, csCfg)
+	results, err := runCartStrategies(p, base, stratConScale, stratVPASora)
 	if err != nil {
-		return fmt.Errorf("fig11 ConScale: %w", err)
+		return fmt.Errorf("fig11: %w", err)
 	}
-	soraCfg := base
-	soraCfg.strategy = stratVPASora
-	sora, err := runCartStrategy(p, soraCfg)
-	if err != nil {
-		return fmt.Errorf("fig11 Sora: %w", err)
-	}
+	conscale, sora := results[0], results[1]
 
 	if err := printCartTimeline(p, w, "fig11_ConScale", conscale); err != nil {
 		return err

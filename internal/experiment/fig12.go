@@ -158,16 +158,18 @@ func runFig12(p Params, w io.Writer) error {
 		return o, nil
 	}
 
-	hpaOnly, err := run(false)
+	outcomes, err := parMap(p, 2, func(i int) (*outcome, error) {
+		o, err := run(i == 1)
+		if err != nil {
+			return nil, fmt.Errorf("fig12 %s: %w", []string{"HPA", "Sora"}[i], err)
+		}
+		o.label = []string{"fig12_HPA", "fig12_Sora"}[i]
+		return o, nil
+	})
 	if err != nil {
-		return fmt.Errorf("fig12 HPA: %w", err)
+		return err
 	}
-	hpaOnly.label = "fig12_HPA"
-	sora, err := run(true)
-	if err != nil {
-		return fmt.Errorf("fig12 Sora: %w", err)
-	}
-	sora.label = "fig12_Sora"
+	hpaOnly, sora := outcomes[0], outcomes[1]
 
 	for _, o := range []*outcome{hpaOnly, sora} {
 		if !p.Quiet {

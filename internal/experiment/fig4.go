@@ -48,8 +48,10 @@ func runFig4(p Params, w io.Writer) error {
 		total   int
 		below   map[time.Duration]float64
 	}
-	var results []result
-	for _, threads := range []int{10, 30} {
+	allocations := []int{10, 30}
+	// One independent simulation per allocation: run both on the pool.
+	results, err := parMap(p, len(allocations), func(i int) (result, error) {
+		threads := allocations[i]
 		cfg := topology.DefaultSockShop()
 		cfg.CartCores = 2
 		cfg.CartThreads = threads
@@ -61,12 +63,12 @@ func runFig4(p Params, w io.Writer) error {
 			target: workload.ConstantUsers(users),
 		})
 		if err != nil {
-			return err
+			return result{}, err
 		}
 		r.run(dur)
 		hist, err := metrics.NewHistogram(binWidth, numBins)
 		if err != nil {
-			return err
+			return result{}, err
 		}
 		for _, c := range r.e2e.Window(warm, sim.Time(dur)) {
 			hist.Observe(c.RT)
@@ -75,7 +77,10 @@ func runFig4(p Params, w io.Writer) error {
 		for _, th := range []time.Duration{tight, loose} {
 			res.below[th] = hist.FractionBelow(th)
 		}
-		results = append(results, res)
+		return res, nil
+	})
+	if err != nil {
+		return err
 	}
 
 	// Render the two histograms side by side on a log scale (bar length

@@ -142,24 +142,29 @@ func runFig9(p Params, w io.Writer) error {
 			fmt.Fprintf(w, " %12s", label)
 		}
 		fmt.Fprintln(w)
+		// Every (workload, size) cell is an independent simulation: fan
+		// the whole validation grid out on the worker pool, then print
+		// rows in workload order.
+		grid, err := parMap(p, len(fc.sweepUsers)*len(sizes), func(i int) (float64, error) {
+			users, size := fc.sweepUsers[i/len(sizes)], sizes[i%len(sizes)]
+			return fig9Validate(p, fc, size, users)
+		})
+		if err != nil {
+			return fmt.Errorf("fig9 case %d validation: %w", ci, err)
+		}
 		recWins := 0
 		var rows [][]float64
-		for _, users := range fc.sweepUsers {
+		for ui, users := range fc.sweepUsers {
 			row := []float64{float64(users)}
 			fmt.Fprintf(w, "%12d", users)
 			bestGP, recGP := -1.0, 0.0
-			gps := make([]float64, len(sizes))
+			gps := grid[ui*len(sizes) : (ui+1)*len(sizes)]
 			for si, size := range sizes {
-				gp, err := fig9Validate(p, fc, size, users)
-				if err != nil {
-					return fmt.Errorf("fig9 case %d validation: %w", ci, err)
-				}
-				gps[si] = gp
-				if gp > bestGP {
-					bestGP = gp
+				if gps[si] > bestGP {
+					bestGP = gps[si]
 				}
 				if size == rec {
-					recGP = gp
+					recGP = gps[si]
 				}
 			}
 			for _, gp := range gps {

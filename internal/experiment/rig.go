@@ -142,6 +142,7 @@ func (r *rig) run(d time.Duration) {
 	r.loop.Stop()
 	r.mon.Stop()
 	r.k.Run() // drain
+	noteKernelRun(r.k)
 }
 
 // timeline samples named gauges once per tick into rows for CSV/ASCII

@@ -35,15 +35,18 @@ type sweepPoint struct {
 	p95     time.Duration
 }
 
-// runSweep executes the case for every pool size and threshold.
+// runSweep executes the case for every pool size and threshold. Each size
+// is an independent simulation (own kernel, own seed derived from the
+// size), so the points run on the worker pool; the returned slice is in
+// sizes order regardless of parallelism.
 func runSweep(p Params, sc sweepCase, sizes []int, thresholds []time.Duration, utilService string) ([]sweepPoint, error) {
 	dur := p.scale(sc.duration)
 	warm := sc.warmup
 	if warm >= dur {
 		warm = dur / 5
 	}
-	var out []sweepPoint
-	for _, size := range sizes {
+	return parMap(p, len(sizes), func(i int) (sweepPoint, error) {
+		size := sizes[i]
 		app, mix := sc.build(size)
 		r, err := newRig(rigConfig{
 			seed:   p.Seed + uint64(size)*1000003,
@@ -52,7 +55,7 @@ func runSweep(p Params, sc sweepCase, sizes []int, thresholds []time.Duration, u
 			target: workload.ConstantUsers(sc.users),
 		})
 		if err != nil {
-			return nil, err
+			return sweepPoint{}, err
 		}
 		r.run(dur)
 		end := sim.Time(dur)
@@ -61,7 +64,7 @@ func runSweep(p Params, sc sweepCase, sizes []int, thresholds []time.Duration, u
 		if sc.service != "" {
 			svc, err := r.c.Service(sc.service)
 			if err != nil {
-				return nil, err
+				return sweepPoint{}, err
 			}
 			log = svc.SpanLog()
 		}
@@ -79,9 +82,8 @@ func runSweep(p Params, sc sweepCase, sizes []int, thresholds []time.Duration, u
 				}
 			}
 		}
-		out = append(out, pt)
-	}
-	return out, nil
+		return pt, nil
+	})
 }
 
 // bestSize returns the pool size with the highest goodput at the

@@ -52,18 +52,33 @@ func runTable1(p Params, w io.Writer) error {
 	var rows [][]float64
 	bestByService := map[string]time.Duration{}
 	for _, fc := range cases {
-		// Ground truth: the sweep optimum at the estimation workload,
-		// measured at the case's service-level threshold over a dense
-		// size grid.
-		truth, err := table1GroundTruth(p, fc)
+		// Ground truth (a sweep) and the repeated estimation runs are
+		// independent simulation batches; compute both concurrently.
+		// Every interval then re-buckets the same estimation histories.
+		var truth int
+		var runs []*estimateRun
+		err := parDo(p,
+			func() error {
+				var err error
+				truth, err = table1GroundTruth(p, fc)
+				if err != nil {
+					return fmt.Errorf("table1 ground truth for %s: %w", fc.measured, err)
+				}
+				return nil
+			},
+			func() error {
+				runs = table1Runs(p, fc)
+				return nil
+			},
+		)
 		if err != nil {
-			return fmt.Errorf("table1 ground truth for %s: %w", fc.measured, err)
+			return err
 		}
 		fmt.Fprintf(w, "%-14s", fc.measured)
 		row := []float64{float64(truth)}
 		bestMAPE, bestIV := 1e18, time.Duration(0)
 		for _, iv := range table1Intervals {
-			mape, err := table1MAPE(p, fc, iv, truth)
+			mape, err := table1MAPE(fc, iv, truth, runs)
 			if err != nil {
 				return fmt.Errorf("table1 %s @%v: %w", fc.measured, iv, err)
 			}
@@ -106,18 +121,16 @@ func table1GroundTruth(p Params, fc fig9Case) (int, error) {
 	return kneeSize(points, fc.threshold, 0.05), nil
 }
 
-// table1MAPE runs table1Repeats estimation passes at the given sampling
-// interval and returns the MAPE of the estimates against the truth.
-//
-// Each pass reuses one simulation per seed: the monitor samples at the
-// finest interval (10 ms) and estimates re-bucket the same history at the
-// coarser granularity, mirroring how the paper evaluates intervals on the
+// table1MAPE re-buckets every estimation run's history at the given
+// sampling interval and returns the MAPE of the estimates against the
+// truth. The expensive simulations ran once in table1Runs; this is pure
+// post-processing, mirroring how the paper evaluates intervals on the
 // same profiling data.
-func table1MAPE(p Params, fc fig9Case, interval time.Duration, truth int) (float64, error) {
-	estimates := make([]float64, 0, table1Repeats)
-	truths := make([]float64, 0, table1Repeats)
-	for rep := 0; rep < table1Repeats; rep++ {
-		est, err := table1Estimate(p, fc, interval, p.Seed+uint64(rep)*7919)
+func table1MAPE(fc fig9Case, interval time.Duration, truth int, runs []*estimateRun) (float64, error) {
+	estimates := make([]float64, 0, len(runs))
+	truths := make([]float64, 0, len(runs))
+	for _, runData := range runs {
+		est, err := table1Estimate(runData, fc, interval)
 		if err != nil {
 			// A failed estimate (blurred knee, too few samples) is the
 			// worst case: count it as a 100% error rather than skipping,
@@ -132,20 +145,23 @@ func table1MAPE(p Params, fc fig9Case, interval time.Duration, truth int) (float
 	return stats.MAPE(truths, estimates)
 }
 
-// estimateCache memoizes the expensive simulation runs per (case, seed):
-// every interval re-buckets the same run.
-var estimateCache = map[string]*estimateRun{}
-
+// estimateRun holds one estimation simulation's history: the monitor
+// samples at the finest interval (10 ms) and every evaluated interval
+// re-buckets it.
 type estimateRun struct {
 	conc    *metrics.Series
 	spanLog *metrics.CompletionLog
 	end     sim.Time
 }
 
-func table1Estimate(p Params, fc fig9Case, interval time.Duration, seed uint64) (int, error) {
-	key := fmt.Sprintf("%s/%d/%g", fc.measured, seed, p.DurationScale)
-	runData, ok := estimateCache[key]
-	if !ok {
+// table1Runs executes the table1Repeats estimation simulations for the
+// case on the worker pool, one independent kernel per repeat seed. A
+// repeat whose simulation cannot be set up is carried as nil and scores
+// as a failed estimate at every interval (matching the serial behavior of
+// counting it as 100% error rather than aborting the table).
+func table1Runs(p Params, fc fig9Case) []*estimateRun {
+	runs, _ := parMap(p, table1Repeats, func(rep int) (*estimateRun, error) {
+		seed := p.Seed + uint64(rep)*7919
 		dur := p.scale(3 * time.Minute)
 		app, mix := fc.build(fc.estPool)
 		r, err := newRig(rigConfig{
@@ -157,19 +173,27 @@ func table1Estimate(p Params, fc fig9Case, interval time.Duration, seed uint64) 
 			sampleInterval: 10 * time.Millisecond,
 		})
 		if err != nil {
-			return 0, err
+			return nil, nil
 		}
 		r.run(dur)
 		conc, err := r.mon.Concurrency(fc.ref)
 		if err != nil {
-			return 0, err
+			return nil, nil
 		}
 		svc, err := r.c.Service(fc.measured)
 		if err != nil {
-			return 0, err
+			return nil, nil
 		}
-		runData = &estimateRun{conc: conc, spanLog: svc.SpanLog(), end: sim.Time(dur)}
-		estimateCache[key] = runData
+		return &estimateRun{conc: conc, spanLog: svc.SpanLog(), end: sim.Time(dur)}, nil
+	})
+	return runs
+}
+
+// table1Estimate produces one optimal-concurrency estimate by re-bucketing
+// the run's history at the given interval.
+func table1Estimate(runData *estimateRun, fc fig9Case, interval time.Duration) (int, error) {
+	if runData == nil {
+		return 0, fmt.Errorf("estimation run failed")
 	}
 	qs, gps := metrics.ConcurrencyGoodputPairs(runData.conc, runData.spanLog, 0, runData.end, interval, fc.threshold)
 	if len(qs) < 20 {

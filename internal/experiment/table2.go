@@ -24,30 +24,34 @@ func runTable2(p Params, w io.Writer) error {
 	fmt.Fprintf(w, "%-18s %10s %10s %10s %10s %11s %11s\n",
 		"trace", "FIRM", "Sora", "FIRM", "Sora", "FIRM", "Sora")
 
-	var rows [][]float64
-	var sumRatioP99, sumRatioGP float64
-	n := 0
-	for _, tr := range workload.Traces() {
+	// All (trace, strategy) cells are independent simulations: fan the
+	// whole grid out on the worker pool, then print rows in trace order.
+	traces := workload.Traces()
+	type cell struct{ firm, sora *cartRunResult }
+	cells, err := parMap(p, len(traces), func(ti int) (cell, error) {
 		base := cartRunConfig{
-			trace:       tr,
+			trace:       traces[ti],
 			peakUsers:   1500,
 			duration:    12 * time.Minute,
 			sla:         goodputRTT,
 			seed:        p.Seed,
 			initThreads: 5,
 		}
-		firmCfg := base
-		firmCfg.strategy = stratFIRM
-		firm, err := runCartStrategy(p, firmCfg)
+		results, err := runCartStrategies(p, base, stratFIRM, stratFIRMSora)
 		if err != nil {
-			return fmt.Errorf("table2 %s FIRM: %w", tr.Name, err)
+			return cell{}, fmt.Errorf("table2 %s: %w", traces[ti].Name, err)
 		}
-		soraCfg := base
-		soraCfg.strategy = stratFIRMSora
-		sora, err := runCartStrategy(p, soraCfg)
-		if err != nil {
-			return fmt.Errorf("table2 %s Sora: %w", tr.Name, err)
-		}
+		return cell{firm: results[0], sora: results[1]}, nil
+	})
+	if err != nil {
+		return err
+	}
+
+	var rows [][]float64
+	var sumRatioP99, sumRatioGP float64
+	n := 0
+	for ti, tr := range traces {
+		firm, sora := cells[ti].firm, cells[ti].sora
 		fmt.Fprintf(w, "%-18s %10.0f %10.0f %10.0f %10.0f %11.0f %11.0f\n",
 			tr.Name,
 			firm.p95.Seconds()*1000, sora.p95.Seconds()*1000,

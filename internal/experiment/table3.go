@@ -21,36 +21,42 @@ func init() {
 
 func runTable3(p Params, w io.Writer) error {
 	slas := []time.Duration{250 * time.Millisecond, 500 * time.Millisecond}
+	traces := workload.Traces()
+
+	// The full (SLA, trace, strategy) grid is independent simulations:
+	// fan it out on the worker pool, then print in (SLA, trace) order.
+	type cell struct{ conscale, sora *cartRunResult }
+	cells, err := parMap(p, len(slas)*len(traces), func(i int) (cell, error) {
+		sla, tr := slas[i/len(traces)], traces[i%len(traces)]
+		base := cartRunConfig{
+			trace:       tr,
+			peakUsers:   1800,
+			duration:    12 * time.Minute,
+			sla:         sla,
+			seed:        p.Seed,
+			initThreads: 5,
+			gpThreshold: sla,
+		}
+		results, err := runCartStrategies(p, base, stratConScale, stratVPASora)
+		if err != nil {
+			return cell{}, fmt.Errorf("table3 %s @%v: %w", tr.Name, sla, err)
+		}
+		return cell{conscale: results[0], sora: results[1]}, nil
+	})
+	if err != nil {
+		return err
+	}
+
 	var rows [][]float64
-	for _, sla := range slas {
+	for si, sla := range slas {
 		fmt.Fprintf(w, "\nSLA threshold %v — goodput [req/s]\n", sla)
 		fmt.Fprintf(w, "%-18s %12s %12s %8s\n", "trace", "ConScale", "Sora", "ratio")
 		var sumRatio float64
 		n := 0
-		for ti, tr := range workload.Traces() {
-			base := cartRunConfig{
-				trace:       tr,
-				peakUsers:   1800,
-				duration:    12 * time.Minute,
-				sla:         sla,
-				seed:        p.Seed,
-				initThreads: 5,
-				gpThreshold: sla,
-			}
-			csCfg := base
-			csCfg.strategy = stratConScale
-			conscale, err := runCartStrategy(p, csCfg)
-			if err != nil {
-				return fmt.Errorf("table3 %s ConScale: %w", tr.Name, err)
-			}
-			soraCfg := base
-			soraCfg.strategy = stratVPASora
-			sora, err := runCartStrategy(p, soraCfg)
-			if err != nil {
-				return fmt.Errorf("table3 %s Sora: %w", tr.Name, err)
-			}
-			gpCS := conscale.goodput
-			gpSora := sora.goodput
+		for ti, tr := range traces {
+			c := cells[si*len(traces)+ti]
+			gpCS := c.conscale.goodput
+			gpSora := c.sora.goodput
 			ratio := 0.0
 			if gpCS > 0 {
 				ratio = gpSora / gpCS

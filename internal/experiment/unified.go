@@ -70,57 +70,74 @@ func runUnifiedExt(p Params, w io.Writer) error {
 	}
 
 	// Independent: FIRM hardware scaler wrapped by the Sora controller.
-	rInd, ref, err := build()
-	if err != nil {
-		return err
+	runIndependent := func() (*outcome, error) {
+		rInd, ref, err := build()
+		if err != nil {
+			return nil, err
+		}
+		firm, err := autoscaler.NewFIRM(rInd.c, autoscaler.FIRMConfig{
+			Service: topology.Cart,
+			SLO:     goodputRTT,
+			Ladder:  []float64{2, 4},
+		})
+		if err != nil {
+			return nil, err
+		}
+		scgInd, err := core.NewSCG(rInd.c, rInd.mon, core.SCGConfig{SLA: goodputRTT})
+		if err != nil {
+			return nil, err
+		}
+		if err := rInd.attachController(core.ControllerConfig{
+			Model:   scgInd,
+			Scaler:  firm,
+			Managed: []core.ManagedResource{{Ref: ref, Min: 2, Max: 200}},
+			Warmup:  30 * time.Second,
+		}); err != nil {
+			return nil, err
+		}
+		rInd.run(dur)
+		return measure(rInd, rInd.ctl.HardwareChanges(), len(rInd.ctl.Events())), nil
 	}
-	firm, err := autoscaler.NewFIRM(rInd.c, autoscaler.FIRMConfig{
-		Service: topology.Cart,
-		SLO:     goodputRTT,
-		Ladder:  []float64{2, 4},
-	})
-	if err != nil {
-		return err
-	}
-	scgInd, err := core.NewSCG(rInd.c, rInd.mon, core.SCGConfig{SLA: goodputRTT})
-	if err != nil {
-		return err
-	}
-	if err := rInd.attachController(core.ControllerConfig{
-		Model:   scgInd,
-		Scaler:  firm,
-		Managed: []core.ManagedResource{{Ref: ref, Min: 2, Max: 200}},
-		Warmup:  30 * time.Second,
-	}); err != nil {
-		return err
-	}
-	rInd.run(dur)
-	ind := measure(rInd, rInd.ctl.HardwareChanges(), len(rInd.ctl.Events()))
 
 	// Unified: one joint loop.
-	rUni, refU, err := build()
-	if err != nil {
-		return err
+	runUnified := func() (*outcome, error) {
+		rUni, refU, err := build()
+		if err != nil {
+			return nil, err
+		}
+		scgUni, err := core.NewSCG(rUni.c, rUni.mon, core.SCGConfig{SLA: goodputRTT})
+		if err != nil {
+			return nil, err
+		}
+		uni, err := core.NewUnified(rUni.c, core.UnifiedConfig{
+			Model:   scgUni,
+			Managed: []core.ManagedResource{{Ref: refU, Min: 2, Max: 200}},
+			Service: topology.Cart,
+			Ladder:  []float64{2, 4},
+			SLO:     goodputRTT,
+			Warmup:  30 * time.Second,
+		})
+		if err != nil {
+			return nil, err
+		}
+		uni.Start()
+		rUni.onStop(uni.Stop)
+		rUni.run(dur)
+		return measure(rUni, uni.HardwareChanges(), len(uni.Events())), nil
 	}
-	scgUni, err := core.NewSCG(rUni.c, rUni.mon, core.SCGConfig{SLA: goodputRTT})
-	if err != nil {
-		return err
-	}
-	uni, err := core.NewUnified(rUni.c, core.UnifiedConfig{
-		Model:   scgUni,
-		Managed: []core.ManagedResource{{Ref: refU, Min: 2, Max: 200}},
-		Service: topology.Cart,
-		Ladder:  []float64{2, 4},
-		SLO:     goodputRTT,
-		Warmup:  30 * time.Second,
+
+	// Both controller designs simulate independently; run them on the
+	// worker pool.
+	outcomes, err := parMap(p, 2, func(i int) (*outcome, error) {
+		if i == 0 {
+			return runIndependent()
+		}
+		return runUnified()
 	})
 	if err != nil {
 		return err
 	}
-	uni.Start()
-	rUni.onStop(uni.Stop)
-	rUni.run(dur)
-	unified := measure(rUni, uni.HardwareChanges(), len(uni.Events()))
+	ind, unified := outcomes[0], outcomes[1]
 
 	fmt.Fprintf(w, "\nSteep Tri Phase, %v, peak %d users, SLO %v\n", dur, peakUsers, goodputRTT)
 	fmt.Fprintf(w, "%-24s %10s %10s %16s %8s %8s\n",

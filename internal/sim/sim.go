@@ -12,6 +12,17 @@
 // The kernel is intentionally single-threaded: determinism matters more
 // than parallel speedup for reproducing the paper's figures, and a single
 // 12-minute trace-driven experiment completes in a few wall-clock seconds.
+// Parallelism lives one layer up: independent simulations (one Kernel per
+// goroutine, nothing shared) scale across cores embarrassingly; see the
+// experiment package's runner.
+//
+// History note: Split originally drew its child seed from the parent RNG
+// stream, so the *order* of Split calls perturbed both the parent stream
+// and every later split. Split streams are now derived purely from the
+// kernel seed and the label, so equal (seed, label) always yields the
+// same stream regardless of when or in what order splits happen. Runs
+// seeded identically before and after this fix produce different (but
+// equally valid) sample paths.
 package sim
 
 import (
@@ -32,18 +43,24 @@ type Timer struct {
 	at       Time
 	seq      uint64
 	fn       func()
+	k        *Kernel
 	index    int // position in the heap, -1 once removed
 	canceled bool
 }
 
-// Cancel prevents the timer's callback from running. It is safe to call
-// multiple times and after the timer has fired.
+// Cancel prevents the timer's callback from running and removes the timer
+// from the event queue immediately, so far-future timers that are almost
+// always cancelled (timeouts, deadlines) do not accumulate in the heap.
+// It is safe to call multiple times and after the timer has fired.
 func (t *Timer) Cancel() {
 	if t == nil {
 		return
 	}
 	t.canceled = true
 	t.fn = nil
+	if t.index >= 0 && t.k != nil {
+		heap.Remove(&t.k.events, t.index)
+	}
 }
 
 // Canceled reports whether Cancel was called on the timer.
@@ -91,6 +108,7 @@ func (h *eventHeap) Pop() any {
 type Kernel struct {
 	now       Time
 	seq       uint64
+	seed      uint64
 	events    eventHeap
 	rng       *rand.Rand
 	processed uint64
@@ -101,7 +119,8 @@ type Kernel struct {
 // derived from seed.
 func NewKernel(seed uint64) *Kernel {
 	return &Kernel{
-		rng: rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)),
+		seed: seed,
+		rng:  rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)),
 	}
 }
 
@@ -114,18 +133,29 @@ func (k *Kernel) Now() Time { return k.now }
 func (k *Kernel) Rand() *rand.Rand { return k.rng }
 
 // Split derives an independent deterministic RNG stream from the kernel
-// seed and the given label hash. Components that sample heavily (e.g. the
-// workload generator) use split streams so that adding a new consumer does
-// not perturb the samples seen by existing ones.
+// seed and the given label. The child stream depends only on (seed, label)
+// — not on the parent stream's position or on how many other splits
+// happened first — so adding a new consumer or reordering consumers does
+// not perturb the samples seen by existing ones, and two kernels with the
+// same seed hand every consumer the same stream regardless of split order.
 func (k *Kernel) Split(label uint64) *rand.Rand {
-	return rand.New(rand.NewPCG(k.rng.Uint64(), label^0xd1b54a32d192ed03))
+	return rand.New(rand.NewPCG(splitMix64(k.seed^label), label^0xd1b54a32d192ed03))
+}
+
+// splitMix64 is the SplitMix64 finalizer, used to decorrelate the
+// seed^label values fed to child PCG streams.
+func splitMix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
 }
 
 // Processed returns the number of events executed so far.
 func (k *Kernel) Processed() uint64 { return k.processed }
 
-// Pending returns the number of events currently scheduled (including
-// cancelled timers not yet drained).
+// Pending returns the number of events currently scheduled. Cancelled
+// timers are removed from the queue eagerly, so they never count.
 func (k *Kernel) Pending() int { return len(k.events) }
 
 // Schedule runs fn after delay units of virtual time. A negative delay is
@@ -150,7 +180,7 @@ func (k *Kernel) At(t Time, fn func()) *Timer {
 		t = k.now
 	}
 	k.seq++
-	tm := &Timer{at: t, seq: k.seq, fn: fn}
+	tm := &Timer{at: t, seq: k.seq, fn: fn, k: k}
 	heap.Push(&k.events, tm)
 	return tm
 }
@@ -210,8 +240,9 @@ func (k *Kernel) Stop() { k.stopped = true }
 // Resume clears a previous Stop.
 func (k *Kernel) Resume() { k.stopped = false }
 
-// peek returns the earliest non-cancelled timer without removing it,
-// draining any cancelled timers it encounters at the top of the heap.
+// peek returns the earliest pending timer without removing it. Cancelled
+// timers are removed from the heap eagerly by Cancel, so the top of the
+// heap is always live (the drain loop is defensive).
 func (k *Kernel) peek() *Timer {
 	for len(k.events) > 0 {
 		top := k.events[0]

@@ -246,6 +246,119 @@ func TestDeterminismAcrossRuns(t *testing.T) {
 	}
 }
 
+func TestCancelRemovesFromQueue(t *testing.T) {
+	k := NewKernel(1)
+	tm := k.Schedule(time.Hour, func() {})
+	if k.Pending() != 1 {
+		t.Fatalf("Pending() = %d before cancel, want 1", k.Pending())
+	}
+	tm.Cancel()
+	if k.Pending() != 0 {
+		t.Errorf("Pending() = %d after cancel, want 0", k.Pending())
+	}
+	// Cancelling again (and cancelling a fired timer) stays a no-op.
+	tm.Cancel()
+	fired := k.Schedule(0, func() {})
+	k.Run()
+	fired.Cancel()
+	if k.Pending() != 0 {
+		t.Errorf("Pending() = %d after post-fire cancel, want 0", k.Pending())
+	}
+}
+
+// TestCancelChurnBounded is the regression test for the canceled-timer
+// leak: repeated schedule/cancel cycles of far-future timers (the timeout
+// pattern) must not grow the event queue.
+func TestCancelChurnBounded(t *testing.T) {
+	k := NewKernel(1)
+	// One live heartbeat so the run never goes idle.
+	stop := false
+	var beat func()
+	beat = func() {
+		if !stop {
+			k.Schedule(time.Millisecond, beat)
+		}
+	}
+	k.Schedule(0, beat)
+	for cycle := 0; cycle < 10_000; cycle++ {
+		tm := k.Schedule(24*time.Hour, func() { t.Error("cancelled timeout fired") })
+		tm.Cancel()
+		if p := k.Pending(); p > 2 {
+			t.Fatalf("cycle %d: Pending() = %d, cancelled timers are accumulating", cycle, p)
+		}
+		k.Step()
+	}
+	stop = true
+	k.Run()
+}
+
+// TestCancelSurvivesHeapMovement cancels timers after other heap
+// operations have shuffled positions, exercising index maintenance.
+func TestCancelSurvivesHeapMovement(t *testing.T) {
+	k := NewKernel(1)
+	var fired []int
+	timers := make([]*Timer, 100)
+	for i := range timers {
+		i := i
+		// Descending deadlines so every push sifts to the top.
+		timers[i] = k.Schedule(time.Duration(len(timers)-i)*time.Second, func() { fired = append(fired, i) })
+	}
+	for i := 0; i < len(timers); i += 2 {
+		timers[i].Cancel()
+	}
+	if k.Pending() != 50 {
+		t.Fatalf("Pending() = %d after cancelling half, want 50", k.Pending())
+	}
+	k.Run()
+	if len(fired) != 50 {
+		t.Fatalf("%d timers fired, want 50", len(fired))
+	}
+	for _, i := range fired {
+		if i%2 == 0 {
+			t.Fatalf("cancelled timer %d fired", i)
+		}
+	}
+}
+
+// TestSplitOrderIndependent pins the Split determinism contract: the
+// stream for a label depends only on (kernel seed, label), not on how
+// many splits happened before or on parent-stream consumption.
+func TestSplitOrderIndependent(t *testing.T) {
+	draw := func(r *rand.Rand) [4]uint64 {
+		var out [4]uint64
+		for i := range out {
+			out[i] = r.Uint64()
+		}
+		return out
+	}
+
+	k1 := NewKernel(42)
+	a1 := draw(k1.Split(1))
+	b1 := draw(k1.Split(2))
+
+	k2 := NewKernel(42)
+	k2.Rand().Uint64() // consume parent stream before splitting
+	b2 := draw(k2.Split(2))
+	k2.Split(99) // extra consumer
+	a2 := draw(k2.Split(1))
+
+	if a1 != a2 {
+		t.Errorf("split(1) depends on split order/parent draws: %v vs %v", a1, a2)
+	}
+	if b1 != b2 {
+		t.Errorf("split(2) depends on split order/parent draws: %v vs %v", b1, b2)
+	}
+
+	// Splitting must not perturb the parent stream either.
+	k3, k4 := NewKernel(7), NewKernel(7)
+	k4.Split(123)
+	for i := 0; i < 10; i++ {
+		if g, w := k4.Rand().Uint64(), k3.Rand().Uint64(); g != w {
+			t.Fatalf("parent stream perturbed by Split: draw %d = %d, want %d", i, g, w)
+		}
+	}
+}
+
 func TestSplitStreamsIndependent(t *testing.T) {
 	k := NewKernel(7)
 	a := k.Split(1)

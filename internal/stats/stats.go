@@ -138,12 +138,25 @@ func Percentile(xs []float64, p float64) (float64, error) {
 	sorted := make([]float64, len(xs))
 	copy(sorted, xs)
 	sort.Float64s(sorted)
-	if len(sorted) == 1 {
+	// Exact boundaries: p=0 and p=100 are the min and max by definition
+	// and must not go through interpolation arithmetic.
+	if p == 0 || len(sorted) == 1 {
 		return sorted[0], nil
+	}
+	if p == 100 {
+		return sorted[len(sorted)-1], nil
 	}
 	rank := p / 100 * float64(len(sorted)-1)
 	lo := int(math.Floor(rank))
 	hi := int(math.Ceil(rank))
+	// Guard against float rounding pushing the rank out of range (p just
+	// below 100 can round rank up to exactly len-1).
+	if hi > len(sorted)-1 {
+		hi = len(sorted) - 1
+	}
+	if lo > hi {
+		lo = hi
+	}
 	if lo == hi {
 		return sorted[lo], nil
 	}

@@ -137,6 +137,57 @@ func TestPercentile(t *testing.T) {
 	}
 }
 
+// TestPercentileBoundaries asserts the exact-boundary contract: p=0 and
+// p=100 return the exact min/max (no interpolation arithmetic), and p
+// values adjacent to the boundaries never index past the slice even when
+// rank = p/100*(n-1) rounds up.
+func TestPercentileBoundaries(t *testing.T) {
+	for _, tt := range []struct {
+		name string
+		xs   []float64
+		p    float64
+		want float64
+	}{
+		{"p0 exact min", []float64{3, 1, 2}, 0, 1},
+		{"p100 exact max", []float64{3, 1, 2}, 100, 3},
+		{"single p0", []float64{42}, 0, 42},
+		{"single p100", []float64{42}, 100, 42},
+		{"single mid", []float64{42}, 37.5, 42},
+		{"two p0", []float64{5, 9}, 0, 5},
+		{"two p100", []float64{5, 9}, 100, 9},
+		{"p0 with negatives", []float64{-7, 0, 7}, 0, -7},
+		{"p100 with duplicates", []float64{4, 4, 4}, 100, 4},
+	} {
+		got, err := Percentile(tt.xs, tt.p)
+		if err != nil {
+			t.Fatalf("%s: %v", tt.name, err)
+		}
+		if got != tt.want {
+			t.Errorf("%s: Percentile = %g, want exactly %g", tt.name, got, tt.want)
+		}
+	}
+
+	// Rounding stress: p just below 100 across many sizes must stay in
+	// range and between min and max.
+	justBelow := math.Nextafter(100, 0)
+	justAbove := math.Nextafter(0, 100)
+	for n := 1; n <= 64; n++ {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = float64(i)
+		}
+		for _, p := range []float64{justAbove, 0.1, 99.9, justBelow} {
+			v, err := Percentile(xs, p)
+			if err != nil {
+				t.Fatalf("n=%d p=%v: %v", n, p, err)
+			}
+			if v < 0 || v > float64(n-1) {
+				t.Fatalf("n=%d p=%v: Percentile = %g outside [min,max]", n, p, v)
+			}
+		}
+	}
+}
+
 func TestPercentileDoesNotMutate(t *testing.T) {
 	xs := []float64{3, 1, 2}
 	if _, err := Percentile(xs, 50); err != nil {

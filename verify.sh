@@ -1,0 +1,26 @@
+#!/bin/sh
+# verify.sh — tier-1 verification for this repository (see ROADMAP.md).
+#
+# Runs vet, build, the full test suite, and the race detector over the
+# packages that contain concurrent code (the parallel experiment runner
+# and the sim kernel it fans out). The race step uses -short: every test
+# that exercises the concurrent paths (parMap, RunMany, the serial-vs-
+# parallel sweep equivalence, the cancel-churn kernel test) runs under
+# -short; the excluded tests are the minutes-long full-driver smoke runs,
+# which the non-race `go test ./...` step already covers.
+set -eu
+cd "$(dirname "$0")"
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test ./..."
+go test ./...
+
+echo "== go test -race (concurrent packages)"
+go test -race -short ./internal/experiment ./internal/sim
+
+echo "verify: OK"
