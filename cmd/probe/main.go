@@ -2,12 +2,21 @@
 // sizes under closed-loop load and prints goodput against several
 // response-time thresholds, to verify the substrate reproduces the knee
 // phenomena of Figure 3 before the SCG model is built on top.
+//
+// Usage:
+//
+//	probe                                # defaults: cores 2,4 × threads 3..200
+//	probe -mult 1.5 -alpha 0.003         # load multiplier, per-dispatch overhead
+//	probe -seed 7 -bursty                # different seed, bursty arrivals
+//	probe -cores 2 -threads 5,10,30      # narrow the sweep grid
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
+	"strings"
 	"time"
 
 	"sora/internal/cluster"
@@ -16,8 +25,8 @@ import (
 	"sora/internal/workload"
 )
 
-func runCart(cores float64, threads, users int, alpha, scale float64, bursty bool, dur time.Duration) (map[time.Duration]float64, float64, float64) {
-	k := sim.NewKernel(42)
+func runCart(seed uint64, cores float64, threads, users int, alpha, scale float64, bursty bool, dur time.Duration) (map[time.Duration]float64, float64, float64) {
+	k := sim.NewKernel(seed)
 	cfg := topology.DefaultSockShop()
 	cfg.CartCores = cores
 	cfg.CartThreads = threads
@@ -61,34 +70,81 @@ func runCart(cores float64, threads, users int, alpha, scale float64, bursty boo
 }
 
 func main() {
-	dur := 100 * time.Second
-	mult := 1.0
-	alpha := 0.005
-	if len(os.Args) > 1 {
-		if v, err := strconv.ParseFloat(os.Args[1], 64); err == nil {
-			mult = v
-		}
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "probe:", err)
+		os.Exit(1)
 	}
-	if len(os.Args) > 2 {
-		if v, err := strconv.ParseFloat(os.Args[2], 64); err == nil {
-			alpha = v
-		}
+}
+
+func run() error {
+	var (
+		seed     = flag.Uint64("seed", 42, "simulation seed")
+		cores    = flag.String("cores", "2,4", "comma-separated Cart CPU limits to sweep")
+		threads  = flag.String("threads", "3,5,10,30,80,200", "comma-separated Cart thread-pool sizes to sweep")
+		mult     = flag.Float64("mult", 1.0, "load multiplier (users = 1200*cores*mult/scale)")
+		alpha    = flag.Float64("alpha", 0.005, "Cart per-dispatch overhead coefficient")
+		scale    = flag.Float64("scale", 1.0, "Cart demand scale")
+		bursty   = flag.Bool("bursty", false, "drive with the Large Variation trace instead of constant users")
+		duration = flag.Duration("duration", 100*time.Second, "run length per sweep point (virtual time)")
+	)
+	flag.Parse()
+
+	coreList, err := parseFloats(*cores)
+	if err != nil {
+		return fmt.Errorf("bad -cores: %w", err)
 	}
-	scale := 1.0
-	if len(os.Args) > 3 {
-		if v, err := strconv.ParseFloat(os.Args[3], 64); err == nil {
-			scale = v
-		}
+	threadList, err := parseInts(*threads)
+	if err != nil {
+		return fmt.Errorf("bad -threads: %w", err)
 	}
-	bursty := len(os.Args) > 4 && os.Args[4] == "bursty"
-	for _, cores := range []float64{2, 4} {
-		users := int(1200 * cores * mult / scale)
-		fmt.Printf("== Cart cores=%.0f users=%d alpha=%.3f scale=%.1f ==\n", cores, users, alpha, scale)
+
+	for _, c := range coreList {
+		users := int(1200 * c * *mult / *scale)
+		fmt.Printf("== Cart cores=%g users=%d alpha=%.3f scale=%.1f seed=%d ==\n", c, users, *alpha, *scale, *seed)
 		fmt.Printf("%8s %10s %10s %10s %10s %8s %8s\n", "threads", "gp50ms", "gp100ms", "gp150ms", "gp250ms", "cpuUtil", "p95ms")
-		for _, th := range []int{3, 5, 10, 30, 80, 200} {
-			gp, util, p95 := runCart(cores, th, users, alpha, scale, bursty, dur)
+		for _, th := range threadList {
+			gp, util, p95 := runCart(*seed, c, th, users, *alpha, *scale, *bursty, *duration)
 			fmt.Printf("%8d %10.0f %10.0f %10.0f %10.0f %8.2f %8.0f\n",
 				th, gp[50*time.Millisecond], gp[100*time.Millisecond], gp[150*time.Millisecond], gp[250*time.Millisecond], util, p95)
 		}
 	}
+	return nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		v, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
 }

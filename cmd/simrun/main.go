@@ -18,6 +18,7 @@ import (
 	"sora/internal/cluster"
 	"sora/internal/metrics"
 	"sora/internal/sim"
+	"sora/internal/telemetry"
 	"sora/internal/topology"
 	"sora/internal/trace"
 	"sora/internal/workload"
@@ -48,6 +49,7 @@ func run() error {
 		heavy       = flag.Bool("heavy", false, "social network: heavy (10-post) reads")
 
 		thresholds = flag.String("thresholds", "50ms,100ms,250ms,400ms", "comma-separated goodput thresholds")
+		telDir     = flag.String("telemetry-dir", "", "directory for telemetry artifacts (optional)")
 	)
 	flag.Parse()
 
@@ -88,7 +90,11 @@ func run() error {
 	}
 
 	k := sim.NewKernel(*seed)
-	c, err := cluster.New(k, app, cluster.Options{})
+	var rec *telemetry.Recorder
+	if *telDir != "" {
+		rec = telemetry.NewRecorder("simrun")
+	}
+	c, err := cluster.New(k, app, cluster.Options{Telemetry: rec})
 	if err != nil {
 		return err
 	}
@@ -122,6 +128,12 @@ func run() error {
 	k.RunUntil(sim.Time(*duration))
 	loop.Stop()
 	k.Run()
+	c.FlushTelemetry()
+	if rec != nil {
+		if err := rec.WriteFiles(*telDir, "simrun"); err != nil {
+			return fmt.Errorf("telemetry: %w", err)
+		}
+	}
 
 	warm := sim.Time(10 * time.Second)
 	if warm > sim.Time(*duration)/5 {

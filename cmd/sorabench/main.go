@@ -19,6 +19,12 @@
 // the pool size (default GOMAXPROCS); -serial forces one worker. Timing
 // and event-throughput diagnostics go to stderr so they never perturb the
 // experiment output.
+//
+// -telemetry-dir DIR enables the structured event log: every experiment
+// writes <id>.events.jsonl (controller decisions, reconfigs, drops),
+// <id>.metrics.prom (Prometheus text snapshot) and <id>.trace.json
+// (Chrome trace format — load at ui.perfetto.dev) into DIR. Artifacts
+// are byte-identical between serial and parallel runs of the same seed.
 package main
 
 import (
@@ -29,6 +35,7 @@ import (
 	"time"
 
 	"sora/internal/experiment"
+	"sora/internal/telemetry"
 )
 
 func main() {
@@ -48,6 +55,7 @@ func run() error {
 		quiet    = flag.Bool("quiet", false, "suppress ASCII charts")
 		parallel = flag.Int("parallel", 0, "worker pool size for independent simulations (0 = GOMAXPROCS)")
 		serial   = flag.Bool("serial", false, "force serial execution (same as -parallel 1)")
+		telDir   = flag.String("telemetry-dir", "", "directory for per-experiment telemetry artifacts (optional)")
 	)
 	flag.Parse()
 
@@ -98,12 +106,48 @@ func run() error {
 	// on the worker pool, each buffering its output, and print in
 	// selection order so stdout is identical to a serial run. Wall-clock
 	// and simulation-event throughput go to stderr.
+	var opts []experiment.RunOption
+	var recs []*telemetry.Recorder
+	if *telDir != "" {
+		recs = make([]*telemetry.Recorder, len(selected))
+		for i, e := range selected {
+			recs[i] = telemetry.NewRecorder(e.ID)
+		}
+		opts = append(opts, experiment.WithRecorders(func(i int, _ experiment.Experiment) *telemetry.Recorder {
+			return recs[i]
+		}))
+	}
+	if params.Workers() > 1 {
+		// Live progress on stderr: experiments finish out of order under
+		// the pool, and the buffered stdout only appears at the end.
+		total := len(selected)
+		opts = append(opts, experiment.WithProgress(func(ev experiment.ProgressEvent) {
+			if !ev.Done {
+				fmt.Fprintf(os.Stderr, "[%d/%d %s running]\n", ev.Index+1, total, ev.Experiment.ID)
+				return
+			}
+			status := "done"
+			if ev.Err != nil {
+				status = "FAILED"
+			}
+			fmt.Fprintf(os.Stderr, "[%d/%d %s %s in %v]\n",
+				ev.Index+1, total, ev.Experiment.ID, status, ev.Wall.Round(time.Millisecond))
+		}))
+	}
 	experiment.ResetRunStats()
 	start := time.Now()
-	results := experiment.RunMany(params, selected)
+	results := experiment.RunMany(params, selected, opts...)
 	wall := time.Since(start)
 
 	var firstErr error
+	for i, rec := range recs {
+		if err := rec.WriteFiles(*telDir, selected[i].ID); err != nil {
+			fmt.Fprintf(os.Stderr, "sorabench: telemetry for %s: %v\n", selected[i].ID, err)
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
 	for _, res := range results {
 		fmt.Printf("==================================================================\n")
 		fmt.Printf("%s — %s\n", res.Experiment.ID, res.Experiment.Title)

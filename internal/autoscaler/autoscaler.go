@@ -26,7 +26,24 @@ import (
 
 	"sora/internal/cluster"
 	"sora/internal/sim"
+	"sora/internal/telemetry"
 )
+
+// publishScale records one applied hardware-scaling action on the
+// cluster's telemetry bus (nil-check only when telemetry is disabled).
+func publishScale(c *cluster.Cluster, now sim.Time, scaler, service, knob string, from, to, util float64) {
+	tel := c.Telemetry()
+	if tel == nil {
+		return
+	}
+	tel.Publish(now, "autoscaler.scale",
+		telemetry.String("scaler", scaler),
+		telemetry.String("service", service),
+		telemetry.String("knob", knob),
+		telemetry.Float("from", from),
+		telemetry.Float("to", to),
+		telemetry.Float("util", util))
+}
 
 // utilTracker derives per-window mean CPU utilization of one service
 // from the cluster's cumulative work counters.
@@ -170,6 +187,7 @@ func (s *FIRMScaler) Step(now sim.Time) bool {
 			s.level--
 			return false
 		}
+		publishScale(s.c, now, s.Name(), s.cfg.Service, "cores", s.cfg.Ladder[s.level-1], s.cfg.Ladder[s.level], util)
 		return true
 	case !violating && util <= s.cfg.DownUtil && s.level > 0:
 		s.calm++
@@ -180,6 +198,7 @@ func (s *FIRMScaler) Step(now sim.Time) bool {
 				s.level++
 				return false
 			}
+			publishScale(s.c, now, s.Name(), s.cfg.Service, "cores", s.cfg.Ladder[s.level+1], s.cfg.Ladder[s.level], util)
 			return true
 		}
 	default:
@@ -275,6 +294,7 @@ func (s *HPAScaler) Step(now sim.Time) bool {
 		if err := s.c.SetReplicas(s.cfg.Service, desired); err != nil {
 			return false
 		}
+		publishScale(s.c, now, s.Name(), s.cfg.Service, "replicas", float64(current), float64(desired), util)
 		return true
 	case desired < current:
 		// Scale-down stabilization: require sustained low demand.
@@ -290,6 +310,7 @@ func (s *HPAScaler) Step(now sim.Time) bool {
 		if err := s.c.SetReplicas(s.cfg.Service, desired); err != nil {
 			return false
 		}
+		publishScale(s.c, now, s.Name(), s.cfg.Service, "replicas", float64(current), float64(desired), util)
 		return true
 	default:
 		s.hasLow = false
@@ -361,7 +382,7 @@ func NewVPA(c *cluster.Cluster, cfg VPAConfig) (*VPAScaler, error) {
 func (s *VPAScaler) Name() string { return "vpa" }
 
 // Step implements core.HardwareScaler.
-func (s *VPAScaler) Step(sim.Time) bool {
+func (s *VPAScaler) Step(now sim.Time) bool {
 	util, err := s.util.utilization()
 	if err != nil {
 		return false
@@ -381,6 +402,7 @@ func (s *VPAScaler) Step(sim.Time) bool {
 		if err := s.c.SetCores(s.cfg.Service, next); err != nil {
 			return false
 		}
+		publishScale(s.c, now, s.Name(), s.cfg.Service, "cores", cores, next, util)
 		return true
 	case util <= s.cfg.DownUtil && cores > s.cfg.MinCores:
 		s.calm++
@@ -393,6 +415,7 @@ func (s *VPAScaler) Step(sim.Time) bool {
 			if err := s.c.SetCores(s.cfg.Service, next); err != nil {
 				return false
 			}
+			publishScale(s.c, now, s.Name(), s.cfg.Service, "cores", cores, next, util)
 			return true
 		}
 	default:

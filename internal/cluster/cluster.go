@@ -21,6 +21,7 @@ import (
 	"sora/internal/dist"
 	"sora/internal/metrics"
 	"sora/internal/sim"
+	"sora/internal/telemetry"
 	"sora/internal/trace"
 )
 
@@ -221,6 +222,11 @@ type Options struct {
 	// Retention bounds how much completion/trace history is kept; zero
 	// selects trace.DefaultRetention.
 	Retention time.Duration
+	// Telemetry, when non-nil, receives structured events (reconfig,
+	// admission drops) and end-of-run counters from this cluster. Nil
+	// disables telemetry at zero cost (every publish site is a nil
+	// check).
+	Telemetry *telemetry.Recorder
 }
 
 // Cluster is a running simulated deployment of an App.
@@ -246,6 +252,9 @@ type Cluster struct {
 	dropped   uint64
 	completed uint64
 	inFlight  int
+
+	tel      *telemetry.Recorder
+	dropWins map[string]*dropWindow
 }
 
 // New deploys app onto a fresh simulated cluster driven by kernel k.
@@ -270,6 +279,8 @@ func New(k *sim.Kernel, app App, opts Options) (*Cluster, error) {
 		netDelay:  opts.NetworkDelay,
 		retention: retention,
 		rng:       k.Split(0xc1),
+		tel:       opts.Telemetry,
+		dropWins:  make(map[string]*dropWindow),
 	}
 	for _, spec := range app.Services {
 		svc := newService(c, spec)

@@ -1,6 +1,10 @@
 package cluster
 
-import "fmt"
+import (
+	"fmt"
+
+	"sora/internal/telemetry"
+)
 
 // This file contains the runtime reconfiguration surface: the hardware
 // knobs a Kubernetes-style autoscaler turns (CPU limits, replica counts)
@@ -19,6 +23,13 @@ func (c *Cluster) SetCores(service string, cores float64) error {
 	}
 	if cores <= 0 {
 		return fmt.Errorf("cluster: SetCores(%q, %g): cores must be positive", service, cores)
+	}
+	if c.tel != nil {
+		c.tel.Publish(c.k.Now(), "cluster.reconfig",
+			telemetry.String("service", service),
+			telemetry.String("knob", "cores"),
+			telemetry.Float("from", svc.spec.Cores),
+			telemetry.Float("to", cores))
 	}
 	svc.spec.Cores = cores
 	for _, in := range svc.instances {
@@ -41,6 +52,13 @@ func (c *Cluster) SetReplicas(service string, n int) error {
 	}
 	svc.spec.Replicas = n
 	current := svc.Replicas()
+	if c.tel != nil && n != current {
+		c.tel.Publish(c.k.Now(), "cluster.reconfig",
+			telemetry.String("service", service),
+			telemetry.String("knob", "replicas"),
+			telemetry.Int("from", current),
+			telemetry.Int("to", n))
+	}
 	switch {
 	case n > current:
 		// Un-drain pods first (cheapest scale-up), then add new pods.
@@ -81,6 +99,16 @@ func (c *Cluster) SetPoolSize(ref ResourceRef, size int) error {
 	}
 	if size < 0 {
 		return fmt.Errorf("cluster: SetPoolSize(%v, %d): negative size", ref, size)
+	}
+	if c.tel != nil {
+		if from, err := c.PoolSize(ref); err == nil {
+			c.tel.Publish(c.k.Now(), "cluster.reconfig",
+				telemetry.String("service", ref.Service),
+				telemetry.String("knob", "pool"),
+				telemetry.String("resource", ref.String()),
+				telemetry.Int("from", from),
+				telemetry.Int("to", size))
+		}
 	}
 	switch ref.Kind {
 	case PoolThreads:

@@ -287,6 +287,7 @@ func (in *Instance) enqueue(v *visit) {
 	if in.queueCap > 0 && len(in.queue) >= in.queueCap {
 		in.meta.dropped++
 		in.svc.c.dropped++
+		in.svc.c.noteDrop(in.svc.name)
 		v.drop()
 		return
 	}

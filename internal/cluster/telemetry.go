@@ -1,0 +1,125 @@
+package cluster
+
+import (
+	"time"
+
+	"sora/internal/sim"
+	"sora/internal/telemetry"
+	"sora/internal/trace"
+)
+
+// This file is the cluster's publishing surface onto the telemetry bus:
+// throttled admission-drop events (noteDrop), and the end-of-run flush
+// that turns cluster/service/warehouse state into counters, gauges and
+// a sampled span timeline. Reconfiguration events are published inline
+// from reconfig.go.
+
+// Telemetry returns the recorder this cluster publishes to, or nil when
+// telemetry is disabled. Controllers and autoscalers use it so the
+// whole control plane of one simulated deployment shares a single event
+// stream.
+func (c *Cluster) Telemetry() *telemetry.Recorder { return c.tel }
+
+// dropWindow accumulates admission drops of one service so that
+// overload (thousands of drops per second) does not flood the event
+// log: at most one cluster.drop event is published per service per
+// virtual second, carrying the accumulated count. FlushTelemetry emits
+// the residue.
+type dropWindow struct {
+	winStart sim.Time
+	count    int
+}
+
+// dropWindowLen is the minimum virtual-time spacing between two
+// cluster.drop events of the same service.
+const dropWindowLen = sim.Time(time.Second)
+
+// noteDrop records one admission-queue rejection for telemetry. Called
+// from the request path, so it must stay cheap when disabled.
+func (c *Cluster) noteDrop(service string) {
+	if c.tel == nil {
+		return
+	}
+	now := c.k.Now()
+	win, ok := c.dropWins[service]
+	if !ok {
+		win = &dropWindow{winStart: now}
+		c.dropWins[service] = win
+	}
+	win.count++
+	if now-win.winStart >= dropWindowLen {
+		c.tel.Publish(now, "cluster.drop",
+			telemetry.String("service", service),
+			telemetry.Int("count", win.count))
+		win.winStart = now
+		win.count = 0
+	}
+}
+
+// chromeTraceSampleCap bounds how many warehouse traces FlushTelemetry
+// renders into the Chrome trace export per cluster (even-stride
+// sampled), keeping artifacts loadable for long runs.
+const chromeTraceSampleCap = 200
+
+// FlushTelemetry publishes the cluster's end-of-run state: residual
+// drop windows, request/warehouse/per-service counters and gauges, and
+// an even-stride sample of retained span trees for the timeline export.
+// Call it once after the simulation has drained; it is a no-op when
+// telemetry is disabled.
+func (c *Cluster) FlushTelemetry() {
+	tel := c.tel
+	if tel == nil {
+		return
+	}
+	now := c.k.Now()
+	for _, name := range c.order {
+		if win, ok := c.dropWins[name]; ok && win.count > 0 {
+			tel.Publish(now, "cluster.drop",
+				telemetry.String("service", name),
+				telemetry.Int("count", win.count))
+			win.count = 0
+		}
+	}
+	tel.AddCounter("sora_requests_completed_total", float64(c.completed))
+	tel.AddCounter("sora_requests_dropped_total", float64(c.dropped))
+	ws := c.warehouse.Stats()
+	tel.AddCounter("sora_warehouse_added_total", float64(ws.Added))
+	tel.AddCounter("sora_warehouse_evicted_total", float64(ws.Evicted))
+	tel.SetGauge("sora_warehouse_retained", float64(ws.Retained))
+	tel.SetGauge("sora_inflight", float64(c.inFlight))
+	for _, name := range c.order {
+		svc := c.services[name]
+		var st Stats
+		for _, in := range svc.instances {
+			s := in.Stats()
+			st.Admitted += s.Admitted
+			st.Completed += s.Completed
+			st.Dropped += s.Dropped
+		}
+		label := `{service="` + name + `"}`
+		tel.AddCounter("sora_service_admitted_total"+label, float64(st.Admitted))
+		tel.AddCounter("sora_service_completed_total"+label, float64(st.Completed))
+		tel.AddCounter("sora_service_dropped_total"+label, float64(st.Dropped))
+		tel.SetGauge("sora_service_replicas"+label, float64(svc.Replicas()))
+		tel.SetGauge("sora_service_cores"+label, svc.Cores())
+	}
+	traces := c.warehouse.All()
+	stride := 1
+	if len(traces) > chromeTraceSampleCap {
+		stride = (len(traces) + chromeTraceSampleCap - 1) / chromeTraceSampleCap
+	}
+	for i := 0; i < len(traces); i += stride {
+		tr := traces[i]
+		tr.Root.Walk(func(s *trace.Span) {
+			tel.AddSpan(telemetry.SpanSample{
+				Trace:    uint64(tr.ID),
+				Type:     tr.Type,
+				Service:  s.Service,
+				Instance: s.Instance,
+				Depth:    s.Depth,
+				Start:    s.Start,
+				End:      s.End,
+			})
+		})
+	}
+}

@@ -190,10 +190,11 @@ const behindUtilHigh = 0.92
 const probeDownFactor = 0.75
 
 // adapt queries the model and applies its recommendation through the
-// Concurrency Adapter policy. All reasoning happens in *total*
-// concurrency units (the model observes totals across pods); the applied
-// setting is divided by the owning service's replica count, since pool
-// knobs are per pod (Tomcat/JDBC/ClientPool style).
+// Concurrency Adapter policy (runAdapter in adapter.go, shared with the
+// unified controller). All reasoning happens in *total* concurrency
+// units (the model observes totals across pods); the applied setting is
+// divided by the owning service's replica count, since pool knobs are
+// per pod (Tomcat/JDBC/ClientPool style).
 //
 //   - If the knee sits at (or beyond) the edge of the observable range —
 //     a fallback result or a recommendation close to the current limit —
@@ -213,103 +214,17 @@ func (ctl *Controller) adapt(now sim.Time, afterHWChange bool) {
 	if err != nil {
 		ctl.errs++
 		ctl.lastErr = err
+		publishControllerError(ctl.c, now, "recommend", err)
 		return
 	}
-	perPod, err := ctl.c.PoolSize(rec.Resource)
+	ev, applied, err := runAdapter(ctl.c, now, rec, ctl.cfg.Managed, &ctl.shrinkStreak, afterHWChange, ctl.cfg.Hysteresis)
 	if err != nil {
 		ctl.errs++
 		ctl.lastErr = err
+		publishControllerError(ctl.c, now, "apply", err)
 		return
 	}
-	replicas := 1
-	if svc, err := ctl.c.Service(rec.Resource.Service); err == nil && svc.Replicas() > 1 {
-		replicas = svc.Replicas()
+	if applied {
+		ctl.events = append(ctl.events, ev)
 	}
-	current := perPod * replicas
-
-	target := rec.OptimalConcurrency
-	saturated := current > 0 && rec.MaxQWindow >= 0.9*float64(current)
-	kneeAtEdge := rec.Knee.Fallback ||
-		(rec.MaxQWindow > 0 && rec.Knee.X >= 0.85*rec.MaxQWindow)
-	underPressure := saturated || rec.GoodFrac < 0.9
-	behindBound := rec.BehindUtil >= behindUtilHigh
-	switch {
-	case kneeAtEdge && underPressure && behindBound && saturated:
-		// The pool is pinned, deadlines suffer, and the bottleneck behind
-		// the pool is already saturated: more concurrency only adds
-		// thrash there — probe downward instead.
-		target = int(float64(current) * probeDownFactor)
-	case kneeAtEdge && underPressure && !behindBound:
-		// Truncated curve with headroom behind the pool: the optimum may
-		// lie beyond the current allocation — grow gradually.
-		grown := int(float64(current)*exploreFactor) + 1
-		if grown > target {
-			target = grown
-		}
-	case saturated && rec.GoodFrac < 0.9 && target >= current && !behindBound:
-		// Pool pinned and deadlines missed with no interior evidence of
-		// over-allocation: under-allocation — grow.
-		grown := int(float64(current)*exploreFactor) + 1
-		if grown > target {
-			target = grown
-		}
-	default:
-		// Interior knee confirmed by samples beyond it: apply it, but
-		// never shrink below the recent demonstrated demand.
-		if target < current {
-			floor := int(shrinkFloorFraction*rec.MaxQRetention + 0.999)
-			if target < floor {
-				target = floor
-			}
-		}
-	}
-	// Debounce shrinks: require consecutive confirmations.
-	if target < current {
-		ctl.shrinkStreak++
-		if ctl.shrinkStreak < shrinkConfirm && !afterHWChange {
-			return
-		}
-	} else {
-		ctl.shrinkStreak = 0
-	}
-	// Re-clamp to the managed resource bounds after policy adjustments.
-	for _, res := range ctl.cfg.Managed {
-		if res.Ref == rec.Resource {
-			target = res.Clamp(target)
-			break
-		}
-	}
-	if target == current {
-		return
-	}
-	// Hysteresis: ignore small nudges unless hardware just changed (a
-	// scale event invalidates the old optimum, so always follow through).
-	if !afterHWChange && ctl.cfg.Hysteresis > 0 && current > 0 {
-		lo := float64(current) * (1 - ctl.cfg.Hysteresis)
-		hi := float64(current) * (1 + ctl.cfg.Hysteresis)
-		if v := float64(target); v >= lo && v <= hi {
-			return
-		}
-	}
-	newPerPod := (target + replicas - 1) / replicas
-	if newPerPod < 1 {
-		newPerPod = 1
-	}
-	if newPerPod == perPod {
-		return
-	}
-	if err := ctl.c.SetPoolSize(rec.Resource, newPerPod); err != nil {
-		ctl.errs++
-		ctl.lastErr = err
-		return
-	}
-	ctl.events = append(ctl.events, AdaptationEvent{
-		At:              now,
-		Resource:        rec.Resource,
-		From:            current,
-		To:              newPerPod * replicas,
-		CriticalService: rec.CriticalService,
-		Threshold:       rec.Threshold,
-		Pairs:           rec.Pairs,
-	})
 }

@@ -6,6 +6,7 @@ import (
 
 	"sora/internal/cluster"
 	"sora/internal/sim"
+	"sora/internal/telemetry"
 )
 
 // UnifiedController implements the joint optimization the paper leaves as
@@ -155,6 +156,7 @@ func (u *UnifiedController) step() {
 	if err != nil {
 		u.errs++
 		u.lastErr = err
+		publishControllerError(u.c, now, "recommend", err)
 		return
 	}
 	svc, err := u.c.Service(u.cfg.Service)
@@ -182,6 +184,7 @@ func (u *UnifiedController) step() {
 		}
 		u.hwChanges++
 		u.calm = 0
+		u.publishHardwareMove(now, "up", oldCores, newCores, violating, util, p99)
 		u.scalePoolBy(now, rec, newCores/oldCores)
 		return
 	case !violating && util <= u.cfg.DownUtil && u.level > 0:
@@ -198,6 +201,7 @@ func (u *UnifiedController) step() {
 				return
 			}
 			u.hwChanges++
+			u.publishHardwareMove(now, "down", oldCores, newCores, violating, util, p99)
 			u.scalePoolBy(now, rec, newCores/oldCores)
 			return
 		}
@@ -207,6 +211,24 @@ func (u *UnifiedController) step() {
 	// No hardware move this period: plain soft adaptation.
 	u.softAdapt(now, rec, false)
 	_ = svc
+}
+
+// publishHardwareMove records one CPU-ladder move with the decision
+// inputs that triggered it.
+func (u *UnifiedController) publishHardwareMove(now sim.Time, direction string, fromCores, toCores float64, violating bool, util float64, p99 time.Duration) {
+	tel := u.c.Telemetry()
+	if tel == nil {
+		return
+	}
+	tel.Publish(now, "controller.hardware",
+		telemetry.String("service", u.cfg.Service),
+		telemetry.String("direction", direction),
+		telemetry.Float("from_cores", fromCores),
+		telemetry.Float("to_cores", toCores),
+		telemetry.Bool("violating", violating),
+		telemetry.Float("behind_util", util),
+		telemetry.Dur("p99_ms", p99),
+		telemetry.Dur("slo_ms", u.cfg.SLO))
 }
 
 // scalePoolBy rescales the primary managed pool proportionally to the
@@ -231,7 +253,22 @@ func (u *UnifiedController) scalePoolBy(now sim.Time, rec Recommendation, ratio 
 	if err := u.c.SetPoolSize(res.Ref, target); err != nil {
 		u.errs++
 		u.lastErr = err
+		publishControllerError(u.c, now, "apply", err)
 		return
+	}
+	if tel := u.c.Telemetry(); tel != nil {
+		tel.Publish(now, "controller.decision",
+			telemetry.String("resource", res.Ref.String()),
+			telemetry.String("critical", rec.CriticalService),
+			telemetry.String("reason", reasonCoordinated),
+			telemetry.Bool("applied", true),
+			telemetry.Int("current", perPod),
+			telemetry.Int("target", target),
+			telemetry.Int("to", target),
+			telemetry.Int("delta", target-perPod),
+			telemetry.Float("ratio", ratio),
+			telemetry.Int("opt", rec.OptimalConcurrency),
+			telemetry.Int("pairs", rec.Pairs))
 	}
 	u.events = append(u.events, AdaptationEvent{
 		At:              now,
@@ -244,83 +281,19 @@ func (u *UnifiedController) scalePoolBy(now sim.Time, rec Recommendation, ratio 
 	})
 }
 
-// softAdapt mirrors the independent Controller's adapter policy.
+// softAdapt runs the shared Concurrency Adapter policy (runAdapter in
+// adapter.go) without a hysteresis band — the unified controller reacts
+// to every surviving recommendation since it coordinates hardware moves
+// itself.
 func (u *UnifiedController) softAdapt(now sim.Time, rec Recommendation, afterHWChange bool) {
-	perPod, err := u.c.PoolSize(rec.Resource)
+	ev, applied, err := runAdapter(u.c, now, rec, u.cfg.Managed, &u.shrinkStreak, afterHWChange, 0)
 	if err != nil {
 		u.errs++
 		u.lastErr = err
+		publishControllerError(u.c, now, "apply", err)
 		return
 	}
-	replicas := 1
-	if svc, err := u.c.Service(rec.Resource.Service); err == nil && svc.Replicas() > 1 {
-		replicas = svc.Replicas()
+	if applied {
+		u.events = append(u.events, ev)
 	}
-	current := perPod * replicas
-
-	target := rec.OptimalConcurrency
-	saturated := current > 0 && rec.MaxQWindow >= 0.9*float64(current)
-	kneeAtEdge := rec.Knee.Fallback ||
-		(rec.MaxQWindow > 0 && rec.Knee.X >= 0.85*rec.MaxQWindow)
-	underPressure := saturated || rec.GoodFrac < 0.9
-	behindBound := rec.BehindUtil >= behindUtilHigh
-	switch {
-	case kneeAtEdge && underPressure && behindBound && saturated:
-		target = int(float64(current) * probeDownFactor)
-	case kneeAtEdge && underPressure && !behindBound:
-		grown := int(float64(current)*exploreFactor) + 1
-		if grown > target {
-			target = grown
-		}
-	case saturated && rec.GoodFrac < 0.9 && target >= current && !behindBound:
-		grown := int(float64(current)*exploreFactor) + 1
-		if grown > target {
-			target = grown
-		}
-	default:
-		if target < current {
-			floor := int(shrinkFloorFraction*rec.MaxQRetention + 0.999)
-			if target < floor {
-				target = floor
-			}
-		}
-	}
-	if target < current {
-		u.shrinkStreak++
-		if u.shrinkStreak < shrinkConfirm && !afterHWChange {
-			return
-		}
-	} else {
-		u.shrinkStreak = 0
-	}
-	for _, res := range u.cfg.Managed {
-		if res.Ref == rec.Resource {
-			target = res.Clamp(target)
-			break
-		}
-	}
-	if target == current {
-		return
-	}
-	newPerPod := (target + replicas - 1) / replicas
-	if newPerPod < 1 {
-		newPerPod = 1
-	}
-	if newPerPod == perPod {
-		return
-	}
-	if err := u.c.SetPoolSize(rec.Resource, newPerPod); err != nil {
-		u.errs++
-		u.lastErr = err
-		return
-	}
-	u.events = append(u.events, AdaptationEvent{
-		At:              now,
-		Resource:        rec.Resource,
-		From:            current,
-		To:              newPerPod * replicas,
-		CriticalService: rec.CriticalService,
-		Threshold:       rec.Threshold,
-		Pairs:           rec.Pairs,
-	})
 }

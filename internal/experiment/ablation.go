@@ -131,6 +131,7 @@ func runAblationDeadline(p Params, w io.Writer) error {
 		app:    buildChain(60),
 		refs:   []cluster.ResourceRef{ref},
 		target: workload.TraceUsers(workload.LargeVariationTrace(), dur, 1250),
+		tel:    p.Telemetry.Group("profile"),
 	})
 	if err != nil {
 		return err
@@ -169,11 +170,13 @@ func runAblationDeadline(p Params, w io.Writer) error {
 	fmt.Fprintf(w, "estimate with static SLA as threshold: %d threads\n", withStatic)
 
 	// Score both settings by end-to-end goodput against the SLA.
-	score := func(size int) (float64, error) {
+	valGrp := p.Telemetry.Group("validate")
+	score := func(i, size int) (float64, error) {
 		vr, err := newRig(rigConfig{
 			seed:   p.Seed + 999,
 			app:    buildChain(size),
 			target: workload.ConstantUsers(900),
+			tel:    valGrp.Unit(i, fmt.Sprintf("pool-%d", size)),
 		})
 		if err != nil {
 			return 0, err
@@ -186,13 +189,13 @@ func runAblationDeadline(p Params, w io.Writer) error {
 	// identical settings need only one run.
 	gpProp, gpStatic := 0.0, 0.0
 	if withStatic == withProp {
-		if gpProp, err = score(withProp); err != nil {
+		if gpProp, err = score(0, withProp); err != nil {
 			return err
 		}
 		gpStatic = gpProp
 	} else {
 		gps, err := parMap(p, 2, func(i int) (float64, error) {
-			return score([]int{withProp, withStatic}[i])
+			return score(i, []int{withProp, withStatic}[i])
 		})
 		if err != nil {
 			return err
@@ -218,6 +221,7 @@ func runAblationDegree(p Params, w io.Writer) error {
 		mix:    mix,
 		refs:   []cluster.ResourceRef{fc.ref},
 		target: workload.TraceUsers(workload.LargeVariationTrace(), dur, fc.estUsers),
+		tel:    p.Telemetry,
 	})
 	if err != nil {
 		return err
@@ -276,6 +280,7 @@ func runAblationLocalize(p Params, w io.Writer) error {
 		app:    app,
 		mix:    mix,
 		target: workload.ConstantUsers(900),
+		tel:    p.Telemetry,
 	})
 	if err != nil {
 		return err

@@ -97,6 +97,7 @@ func runCartStrategy(p Params, rc cartRunConfig) (*cartRunResult, error) {
 		mix:    topology.CartOnlyMix(app),
 		refs:   []cluster.ResourceRef{ref},
 		target: workload.TraceUsers(rc.trace, dur, rc.peakUsers),
+		tel:    p.Telemetry,
 	})
 	if err != nil {
 		return nil, err
@@ -239,10 +240,11 @@ func runCartStrategy(p Params, rc cartRunConfig) (*cartRunResult, error) {
 // strategy on the worker pool, with every run deriving from the same base
 // config. Results are in strategy-argument order.
 func runCartStrategies(p Params, base cartRunConfig, strategies ...strategy) ([]*cartRunResult, error) {
+	grp := p.Telemetry.Group("strategies")
 	return parMap(p, len(strategies), func(i int) (*cartRunResult, error) {
 		rc := base
 		rc.strategy = strategies[i]
-		res, err := runCartStrategy(p, rc)
+		res, err := runCartStrategy(p.unitParams(grp.Unit(i, sanitize(strategies[i].String()))), rc)
 		if err != nil {
 			return nil, fmt.Errorf("%v: %w", strategies[i], err)
 		}

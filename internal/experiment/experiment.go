@@ -19,6 +19,8 @@ import (
 	"path/filepath"
 	"sort"
 	"time"
+
+	"sora/internal/telemetry"
 )
 
 // Params are the common knobs of every experiment runner.
@@ -39,6 +41,20 @@ type Params struct {
 	// bit-for-bit identical at any setting — results are collected in
 	// deterministic index order and each run owns its kernel.
 	Parallelism int
+	// Telemetry, when non-nil, receives structured events, counters and
+	// span samples from every cluster the experiment builds. Fan-out
+	// sites attach index-keyed sub-recorders (telemetry.Recorder.Unit),
+	// so exported artifacts are byte-identical between serial and
+	// parallel runs. Nil disables telemetry at zero cost.
+	Telemetry *telemetry.Recorder
+}
+
+// unitParams returns a copy of p whose Telemetry points at the given
+// sub-recorder — the standard way fan-out sites scope telemetry to one
+// parallel work item.
+func (p Params) unitParams(rec *telemetry.Recorder) Params {
+	p.Telemetry = rec
+	return p
 }
 
 func (p Params) scale(d time.Duration) time.Duration {

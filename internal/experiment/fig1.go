@@ -9,6 +9,7 @@ import (
 	"sora/internal/cluster"
 	"sora/internal/core"
 	"sora/internal/sim"
+	"sora/internal/telemetry"
 	"sora/internal/topology"
 )
 
@@ -38,7 +39,7 @@ func runFig1(p Params, w io.Writer) error {
 		events   []core.AdaptationEvent
 		replicas float64
 	}
-	run := func(withSora bool) (*outcome, error) {
+	run := func(withSora bool, tel *telemetry.Recorder) (*outcome, error) {
 		cfg := topology.DefaultSockShop()
 		cfg.CatalogueConns = 30 // liberal static pool: fine at 1 replica, excessive at 3
 		app := topology.SockShop(cfg)
@@ -64,6 +65,7 @@ func runFig1(p Params, w io.Writer) error {
 			mix:    topology.BrowseOnlyMix(app),
 			refs:   []cluster.ResourceRef{ref},
 			target: target,
+			tel:    tel,
 		})
 		if err != nil {
 			return nil, err
@@ -154,8 +156,9 @@ func runFig1(p Params, w io.Writer) error {
 
 	// The baseline and Sora cases are independent simulations; run both
 	// on the worker pool.
+	grp := p.Telemetry.Group("cases")
 	outcomes, err := parMap(p, 2, func(i int) (*outcome, error) {
-		o, err := run(i == 1)
+		o, err := run(i == 1, grp.Unit(i, []string{"HPA", "Sora"}[i]))
 		if err != nil {
 			return nil, fmt.Errorf("fig1 %s: %w", []string{"HPA", "Sora"}[i], err)
 		}

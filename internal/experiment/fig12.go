@@ -9,6 +9,7 @@ import (
 	"sora/internal/cluster"
 	"sora/internal/core"
 	"sora/internal/sim"
+	"sora/internal/telemetry"
 	"sora/internal/topology"
 	"sora/internal/workload"
 )
@@ -42,7 +43,7 @@ func runFig12(p Params, w io.Writer) error {
 		conns    int
 	}
 
-	run := func(withSora bool) (*outcome, error) {
+	run := func(withSora bool, tel *telemetry.Recorder) (*outcome, error) {
 		cfg := topology.DefaultSocialNetwork()
 		cfg.PostStorageConns = 15 // the static allocation of the baseline case
 		cfg.PostStorageCores = 2
@@ -58,6 +59,7 @@ func runFig12(p Params, w io.Writer) error {
 			mix:    topology.HomeTimelineOnlyMix(false),
 			refs:   []cluster.ResourceRef{ref},
 			target: workload.TraceUsers(workload.LargeVariationTrace(), dur, 3200),
+			tel:    tel,
 		})
 		if err != nil {
 			return nil, err
@@ -158,8 +160,9 @@ func runFig12(p Params, w io.Writer) error {
 		return o, nil
 	}
 
+	grp := p.Telemetry.Group("cases")
 	outcomes, err := parMap(p, 2, func(i int) (*outcome, error) {
-		o, err := run(i == 1)
+		o, err := run(i == 1, grp.Unit(i, []string{"HPA", "Sora"}[i]))
 		if err != nil {
 			return nil, fmt.Errorf("fig12 %s: %w", []string{"HPA", "Sora"}[i], err)
 		}

@@ -50,6 +50,7 @@ func runFig4(p Params, w io.Writer) error {
 	}
 	allocations := []int{10, 30}
 	// One independent simulation per allocation: run both on the pool.
+	grp := p.Telemetry.Group("allocations")
 	results, err := parMap(p, len(allocations), func(i int) (result, error) {
 		threads := allocations[i]
 		cfg := topology.DefaultSockShop()
@@ -61,6 +62,7 @@ func runFig4(p Params, w io.Writer) error {
 			app:    app,
 			mix:    topology.CartOnlyMix(app),
 			target: workload.ConstantUsers(users),
+			tel:    grp.Unit(i, fmt.Sprintf("threads-%d", threads)),
 		})
 		if err != nil {
 			return result{}, err

@@ -43,6 +43,7 @@ func runFig7(p Params, w io.Writer) error {
 		mix:    topology.CartOnlyMix(app),
 		refs:   []cluster.ResourceRef{ref},
 		target: workload.TraceUsers(workload.LargeVariationTrace(), dur, 1100),
+		tel:    p.Telemetry,
 	})
 	if err != nil {
 		return err

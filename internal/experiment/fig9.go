@@ -113,7 +113,8 @@ func fig9Cases() []fig9Case {
 func runFig9(p Params, w io.Writer) error {
 	for ci, fc := range fig9Cases() {
 		fmt.Fprintf(w, "\nFigure 9%s\n", fc.name)
-		rec, err := fig9Estimate(p, fc)
+		caseGrp := p.Telemetry.Group(fmt.Sprintf("case-%c", 'a'+ci))
+		rec, err := fig9Estimate(p.unitParams(caseGrp.Group("estimate")), fc)
 		if err != nil {
 			return fmt.Errorf("fig9 case %d estimation: %w", ci, err)
 		}
@@ -145,9 +146,11 @@ func runFig9(p Params, w io.Writer) error {
 		// Every (workload, size) cell is an independent simulation: fan
 		// the whole validation grid out on the worker pool, then print
 		// rows in workload order.
+		valGrp := caseGrp.Group("validate")
 		grid, err := parMap(p, len(fc.sweepUsers)*len(sizes), func(i int) (float64, error) {
 			users, size := fc.sweepUsers[i/len(sizes)], sizes[i%len(sizes)]
-			return fig9Validate(p, fc, size, users)
+			unit := valGrp.Unit(i, fmt.Sprintf("users-%d-pool-%d", users, size))
+			return fig9Validate(p.unitParams(unit), fc, size, users)
 		})
 		if err != nil {
 			return fmt.Errorf("fig9 case %d validation: %w", ci, err)
@@ -203,6 +206,7 @@ func fig9Estimate(p Params, fc fig9Case) (int, error) {
 		mix:    mix,
 		refs:   []cluster.ResourceRef{fc.ref},
 		target: workload.TraceUsers(workload.LargeVariationTrace(), dur, fc.estUsers),
+		tel:    p.Telemetry,
 	})
 	if err != nil {
 		return 0, err
@@ -241,6 +245,7 @@ func fig9Validate(p Params, fc fig9Case, size, users int) (float64, error) {
 		app:    app,
 		mix:    mix,
 		target: workload.ConstantUsers(users),
+		tel:    p.Telemetry,
 	})
 	if err != nil {
 		return 0, err

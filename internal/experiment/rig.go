@@ -9,6 +9,7 @@ import (
 	"sora/internal/dist"
 	"sora/internal/metrics"
 	"sora/internal/sim"
+	"sora/internal/telemetry"
 	"sora/internal/trace"
 	"sora/internal/workload"
 )
@@ -65,11 +66,16 @@ type rigConfig struct {
 
 	// sampleInterval overrides the monitor cadence (0 = 100 ms).
 	sampleInterval time.Duration
+
+	// tel, when non-nil, receives this rig's cluster telemetry (events,
+	// counters, span samples). Fan-out call sites pass a per-unit
+	// sub-recorder so parallel rigs never share a node.
+	tel *telemetry.Recorder
 }
 
 func newRig(cfg rigConfig) (*rig, error) {
 	k := sim.NewKernel(cfg.seed)
-	c, err := cluster.New(k, cfg.app, cluster.Options{})
+	c, err := cluster.New(k, cfg.app, cluster.Options{Telemetry: cfg.tel})
 	if err != nil {
 		return nil, err
 	}
@@ -142,6 +148,7 @@ func (r *rig) run(d time.Duration) {
 	r.loop.Stop()
 	r.mon.Stop()
 	r.k.Run() // drain
+	r.c.FlushTelemetry()
 	noteKernelRun(r.k)
 }
 

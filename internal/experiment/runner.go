@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"sora/internal/sim"
+	"sora/internal/telemetry"
 )
 
 // This file is the parallel execution layer of the experiment package.
@@ -129,17 +130,71 @@ type RunResult struct {
 	Events uint64
 }
 
+// ProgressEvent reports one experiment's lifecycle transition to a
+// RunMany progress observer.
+type ProgressEvent struct {
+	Index, Total int
+	Experiment   Experiment
+	// Done is false when the experiment starts, true when it finishes
+	// (Err and Wall are only meaningful then).
+	Done bool
+	Err  error
+	Wall time.Duration
+}
+
+// runOptions collects the optional behaviours of RunMany.
+type runOptions struct {
+	recorder func(i int, e Experiment) *telemetry.Recorder
+	progress func(ProgressEvent)
+}
+
+// RunOption customizes RunMany.
+type RunOption func(*runOptions)
+
+// WithRecorders gives every experiment its own telemetry root: fn is
+// called once per experiment (from the worker about to run it) and the
+// returned recorder becomes that run's Params.Telemetry.
+func WithRecorders(fn func(i int, e Experiment) *telemetry.Recorder) RunOption {
+	return func(o *runOptions) { o.recorder = fn }
+}
+
+// WithProgress registers a live observer called at every experiment
+// start and finish. Calls are serialized by an internal mutex, so fn
+// may write to a shared stream (stderr) without interleaving.
+func WithProgress(fn func(ProgressEvent)) RunOption {
+	return func(o *runOptions) { o.progress = fn }
+}
+
 // RunMany executes the experiments on the worker pool, each writing into
 // its own buffer, and returns results in input order. All experiments run
 // to completion even if some fail; callers decide how to surface errors.
-func RunMany(p Params, exps []Experiment) []RunResult {
+func RunMany(p Params, exps []Experiment, opts ...RunOption) []RunResult {
+	var o runOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	var progressMu sync.Mutex
+	notify := func(ev ProgressEvent) {
+		if o.progress == nil {
+			return
+		}
+		progressMu.Lock()
+		o.progress(ev)
+		progressMu.Unlock()
+	}
 	results, _ := parMap(p, len(exps), func(i int) (RunResult, error) {
 		e := exps[i]
+		pe := p
+		if o.recorder != nil {
+			pe.Telemetry = o.recorder(i, e)
+		}
 		var buf bytes.Buffer
 		_, eventsBefore := RunStats()
+		notify(ProgressEvent{Index: i, Total: len(exps), Experiment: e})
 		start := time.Now()
-		err := e.Run(p, &buf)
+		err := e.Run(pe, &buf)
 		wall := time.Since(start)
+		notify(ProgressEvent{Index: i, Total: len(exps), Experiment: e, Done: true, Err: err, Wall: wall})
 		_, eventsAfter := RunStats()
 		return RunResult{
 			Experiment: e,

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"fmt"
 	"time"
 
 	"sora/internal/cluster"
@@ -45,6 +46,7 @@ func runSweep(p Params, sc sweepCase, sizes []int, thresholds []time.Duration, u
 	if warm >= dur {
 		warm = dur / 5
 	}
+	grp := p.Telemetry.Group("sweep")
 	return parMap(p, len(sizes), func(i int) (sweepPoint, error) {
 		size := sizes[i]
 		app, mix := sc.build(size)
@@ -53,6 +55,7 @@ func runSweep(p Params, sc sweepCase, sizes []int, thresholds []time.Duration, u
 			app:    app,
 			mix:    mix,
 			target: workload.ConstantUsers(sc.users),
+			tel:    grp.Unit(i, fmt.Sprintf("size-%d", size)),
 		})
 		if err != nil {
 			return sweepPoint{}, err

@@ -55,19 +55,24 @@ func runTable1(p Params, w io.Writer) error {
 		// Ground truth (a sweep) and the repeated estimation runs are
 		// independent simulation batches; compute both concurrently.
 		// Every interval then re-buckets the same estimation histories.
+		// Telemetry sub-groups are created here, on the coordinating
+		// goroutine, so their creation order stays deterministic.
+		caseGrp := p.Telemetry.Group(fc.measured)
+		truthTel := caseGrp.Group("ground-truth")
+		runsTel := caseGrp.Group("runs")
 		var truth int
 		var runs []*estimateRun
 		err := parDo(p,
 			func() error {
 				var err error
-				truth, err = table1GroundTruth(p, fc)
+				truth, err = table1GroundTruth(p.unitParams(truthTel), fc)
 				if err != nil {
 					return fmt.Errorf("table1 ground truth for %s: %w", fc.measured, err)
 				}
 				return nil
 			},
 			func() error {
-				runs = table1Runs(p, fc)
+				runs = table1Runs(p.unitParams(runsTel), fc)
 				return nil
 			},
 		)
@@ -171,6 +176,7 @@ func table1Runs(p Params, fc fig9Case) []*estimateRun {
 			refs:           []cluster.ResourceRef{fc.ref},
 			target:         workload.TraceUsers(workload.LargeVariationTrace(), dur, fc.estUsers),
 			sampleInterval: 10 * time.Millisecond,
+			tel:            p.Telemetry.Unit(rep, fmt.Sprintf("rep-%d", rep)),
 		})
 		if err != nil {
 			return nil, nil

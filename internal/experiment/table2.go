@@ -27,6 +27,7 @@ func runTable2(p Params, w io.Writer) error {
 	// All (trace, strategy) cells are independent simulations: fan the
 	// whole grid out on the worker pool, then print rows in trace order.
 	traces := workload.Traces()
+	grp := p.Telemetry.Group("traces")
 	type cell struct{ firm, sora *cartRunResult }
 	cells, err := parMap(p, len(traces), func(ti int) (cell, error) {
 		base := cartRunConfig{
@@ -37,7 +38,7 @@ func runTable2(p Params, w io.Writer) error {
 			seed:        p.Seed,
 			initThreads: 5,
 		}
-		results, err := runCartStrategies(p, base, stratFIRM, stratFIRMSora)
+		results, err := runCartStrategies(p.unitParams(grp.Unit(ti, sanitize(traces[ti].Name))), base, stratFIRM, stratFIRMSora)
 		if err != nil {
 			return cell{}, fmt.Errorf("table2 %s: %w", traces[ti].Name, err)
 		}

@@ -26,6 +26,7 @@ func runTable3(p Params, w io.Writer) error {
 	// The full (SLA, trace, strategy) grid is independent simulations:
 	// fan it out on the worker pool, then print in (SLA, trace) order.
 	type cell struct{ conscale, sora *cartRunResult }
+	grp := p.Telemetry.Group("grid")
 	cells, err := parMap(p, len(slas)*len(traces), func(i int) (cell, error) {
 		sla, tr := slas[i/len(traces)], traces[i%len(traces)]
 		base := cartRunConfig{
@@ -37,7 +38,8 @@ func runTable3(p Params, w io.Writer) error {
 			initThreads: 5,
 			gpThreshold: sla,
 		}
-		results, err := runCartStrategies(p, base, stratConScale, stratVPASora)
+		unit := grp.Unit(i, fmt.Sprintf("sla-%dms-%s", sla/time.Millisecond, sanitize(tr.Name)))
+		results, err := runCartStrategies(p.unitParams(unit), base, stratConScale, stratVPASora)
 		if err != nil {
 			return cell{}, fmt.Errorf("table3 %s @%v: %w", tr.Name, sla, err)
 		}

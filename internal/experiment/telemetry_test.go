@@ -1,0 +1,143 @@
+package experiment
+
+import (
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sora/internal/telemetry"
+)
+
+// renderArtifacts serializes all three telemetry sinks into one string
+// for byte-level comparison.
+func renderArtifacts(t *testing.T, rec *telemetry.Recorder) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := rec.WriteJSONL(&sb); err != nil {
+		t.Fatal(err)
+	}
+	sb.WriteString("\n--- metrics ---\n")
+	if err := rec.WriteMetrics(&sb); err != nil {
+		t.Fatal(err)
+	}
+	sb.WriteString("\n--- trace ---\n")
+	if err := rec.WriteChromeTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+// TestTelemetryArtifactEquivalence is the telemetry form of the
+// serial/parallel guardrail: the same sweep with a recorder attached must
+// produce byte-identical JSONL, metrics and Chrome-trace artifacts
+// whether the units ran on one worker or four. Runs under -short and
+// therefore under the -race gate of verify.sh.
+func TestTelemetryArtifactEquivalence(t *testing.T) {
+	sizes := []int{3, 10, 30}
+	thresholds := []time.Duration{fig3LooseRTT}
+	run := func(parallelism int) string {
+		t.Helper()
+		rec := telemetry.NewRecorder("sweep-test")
+		p := Params{Seed: 7, DurationScale: 0.001, Quiet: true, Parallelism: parallelism, Telemetry: rec}
+		if _, err := runSweep(p, cartSweep(2, 200), sizes, thresholds, "cart"); err != nil {
+			t.Fatalf("parallelism=%d: %v", parallelism, err)
+		}
+		return renderArtifacts(t, rec)
+	}
+	serial := run(1)
+	parallel := run(4)
+	if serial != parallel {
+		t.Fatalf("telemetry artifacts differ between serial and parallel runs:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+	}
+	// The artifacts must actually carry data: per-unit request counters
+	// and the unit paths of every sweep point.
+	if !strings.Contains(serial, "sora_requests_completed_total") {
+		t.Error("metrics snapshot missing request counters")
+	}
+	for _, unit := range []string{"sweep/size-3", "sweep/size-10", "sweep/size-30"} {
+		if !strings.Contains(serial, unit) {
+			t.Errorf("artifacts missing unit path %s", unit)
+		}
+	}
+}
+
+// TestExperimentTelemetryEquivalence runs a full registered experiment
+// (controller decisions included) with a recorder and requires identical
+// artifacts across pool sizes — the package-level form of the
+// `sorabench -telemetry-dir` serial/parallel guarantee.
+func TestExperimentTelemetryEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-driver telemetry equivalence runs take ~a minute; skipped in -short")
+	}
+	for _, id := range []string{"fig4", "fig10"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			e, err := ByID(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			render := func(parallelism int) string {
+				rec := telemetry.NewRecorder(id)
+				p := Params{Seed: 11, DurationScale: 0.001, Quiet: true, Parallelism: parallelism, Telemetry: rec}
+				var sb strings.Builder
+				if err := e.Run(p, &sb); err != nil {
+					t.Fatalf("parallelism=%d: %v", parallelism, err)
+				}
+				return renderArtifacts(t, rec)
+			}
+			serial := render(1)
+			parallel := render(4)
+			if serial != parallel {
+				t.Fatalf("%s telemetry differs between serial and parallel runs", id)
+			}
+			if len(serial) == 0 {
+				t.Fatalf("%s produced no telemetry", id)
+			}
+		})
+	}
+}
+
+// TestRunManyRecordersAndProgress verifies the runner threads the
+// per-experiment recorders through Params and serializes progress
+// notifications with start/done pairs in consistent order per index.
+func TestRunManyRecordersAndProgress(t *testing.T) {
+	exps := []Experiment{
+		{ID: "a", Title: "t", Run: func(p Params, w io.Writer) error {
+			p.Telemetry.Publish(0, "test.mark", telemetry.String("id", "a"))
+			return nil
+		}},
+		{ID: "b", Title: "t", Run: func(p Params, w io.Writer) error {
+			p.Telemetry.Publish(0, "test.mark", telemetry.String("id", "b"))
+			return nil
+		}},
+	}
+	recs := []*telemetry.Recorder{telemetry.NewRecorder("a"), telemetry.NewRecorder("b")}
+	var mu sync.Mutex
+	starts, dones := map[string]int{}, map[string]int{}
+	results := RunMany(Params{Parallelism: 2}, exps,
+		WithRecorders(func(i int, e Experiment) *telemetry.Recorder { return recs[i] }),
+		WithProgress(func(ev ProgressEvent) {
+			mu.Lock()
+			defer mu.Unlock()
+			if ev.Done {
+				dones[ev.Experiment.ID]++
+			} else {
+				starts[ev.Experiment.ID]++
+			}
+		}),
+	)
+	if len(results) != 2 {
+		t.Fatalf("results = %d", len(results))
+	}
+	for i, id := range []string{"a", "b"} {
+		evs := recs[i].Events()
+		if len(evs) != 1 || evs[0].Kind != "test.mark" {
+			t.Errorf("recorder %s events = %+v", id, evs)
+		}
+		if starts[id] != 1 || dones[id] != 1 {
+			t.Errorf("progress for %s: starts=%d dones=%d, want 1/1", id, starts[id], dones[id])
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"sora/internal/cluster"
 	"sora/internal/core"
 	"sora/internal/sim"
+	"sora/internal/telemetry"
 	"sora/internal/topology"
 	"sora/internal/workload"
 )
@@ -53,7 +54,7 @@ func runUnifiedExt(p Params, w io.Writer) error {
 		o.goodput = r.e2e.GoodputRate(warm, end, goodputRTT)
 		return o
 	}
-	build := func() (*rig, cluster.ResourceRef, error) {
+	build := func(tel *telemetry.Recorder) (*rig, cluster.ResourceRef, error) {
 		cfg := topology.DefaultSockShop()
 		cfg.CartCores = 2
 		cfg.CartThreads = initThreads
@@ -65,13 +66,14 @@ func runUnifiedExt(p Params, w io.Writer) error {
 			mix:    topology.CartOnlyMix(app),
 			refs:   []cluster.ResourceRef{ref},
 			target: workload.TraceUsers(workload.SteepTriPhaseTrace(), dur, peakUsers),
+			tel:    tel,
 		})
 		return r, ref, err
 	}
 
 	// Independent: FIRM hardware scaler wrapped by the Sora controller.
-	runIndependent := func() (*outcome, error) {
-		rInd, ref, err := build()
+	runIndependent := func(tel *telemetry.Recorder) (*outcome, error) {
+		rInd, ref, err := build(tel)
 		if err != nil {
 			return nil, err
 		}
@@ -100,8 +102,8 @@ func runUnifiedExt(p Params, w io.Writer) error {
 	}
 
 	// Unified: one joint loop.
-	runUnified := func() (*outcome, error) {
-		rUni, refU, err := build()
+	runUnified := func(tel *telemetry.Recorder) (*outcome, error) {
+		rUni, refU, err := build(tel)
 		if err != nil {
 			return nil, err
 		}
@@ -128,11 +130,12 @@ func runUnifiedExt(p Params, w io.Writer) error {
 
 	// Both controller designs simulate independently; run them on the
 	// worker pool.
+	grp := p.Telemetry.Group("controllers")
 	outcomes, err := parMap(p, 2, func(i int) (*outcome, error) {
 		if i == 0 {
-			return runIndependent()
+			return runIndependent(grp.Unit(0, "independent"))
 		}
-		return runUnified()
+		return runUnified(grp.Unit(1, "unified"))
 	})
 	if err != nil {
 		return err

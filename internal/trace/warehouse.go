@@ -96,6 +96,19 @@ func (w *Warehouse) Added() uint64 { return w.added }
 // Evicted returns the total number of traces evicted so far.
 func (w *Warehouse) Evicted() uint64 { return w.evicted }
 
+// WarehouseStats is a point-in-time summary of warehouse churn, exposed
+// for telemetry counters and capacity diagnostics.
+type WarehouseStats struct {
+	Added    uint64 // traces ever stored
+	Evicted  uint64 // traces dropped out of the retention window
+	Retained int    // traces currently held
+}
+
+// Stats returns the warehouse's churn counters and current size.
+func (w *Warehouse) Stats() WarehouseStats {
+	return WarehouseStats{Added: w.added, Evicted: w.evicted, Retained: w.Len()}
+}
+
 // Window returns the retained traces whose completion time lies in
 // [since, until). The result aliases the warehouse's internal order but is
 // a fresh slice; callers may not mutate the traces.

@@ -11,6 +11,14 @@
 set -eu
 cd "$(dirname "$0")"
 
+echo "== gofmt -l"
+UNFORMATTED="$(gofmt -l .)"
+if [ -n "$UNFORMATTED" ]; then
+	echo "gofmt: the following files need formatting:" >&2
+	echo "$UNFORMATTED" >&2
+	exit 1
+fi
+
 echo "== go vet ./..."
 go vet ./...
 
@@ -21,6 +29,6 @@ echo "== go test ./..."
 go test ./...
 
 echo "== go test -race (concurrent packages)"
-go test -race -short ./internal/experiment ./internal/sim
+go test -race -short ./internal/experiment ./internal/sim ./internal/telemetry
 
 echo "verify: OK"
