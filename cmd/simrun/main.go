@@ -17,6 +17,7 @@ import (
 
 	"sora/internal/cluster"
 	"sora/internal/metrics"
+	"sora/internal/profile"
 	"sora/internal/sim"
 	"sora/internal/telemetry"
 	"sora/internal/topology"
@@ -50,6 +51,9 @@ func run() error {
 
 		thresholds = flag.String("thresholds", "50ms,100ms,250ms,400ms", "comma-separated goodput thresholds")
 		telDir     = flag.String("telemetry-dir", "", "directory for telemetry artifacts (optional)")
+		archive    = flag.String("trace-archive", "", "write completed traces as a JSONL archive (tracedig input)")
+		profFlag   = flag.Bool("profile", false, "print the latency-attribution blame table after the run")
+		slo        = flag.Duration("slo", 0, "SLO for the -profile violation breakdown (0 = disabled)")
 	)
 	flag.Parse()
 
@@ -103,6 +107,15 @@ func run() error {
 	}
 	var e2e metrics.CompletionLog
 	c.OnComplete(func(tr *trace.Trace) { e2e.Add(k.Now(), tr.ResponseTime()) })
+	var agg *profile.Aggregator
+	if *profFlag {
+		agg = profile.NewAggregator(*slo)
+		c.OnComplete(agg.Add)
+	}
+	var archived []*trace.Trace
+	if *archive != "" {
+		c.OnComplete(func(tr *trace.Trace) { archived = append(archived, tr) })
+	}
 
 	target := workload.ConstantUsers(*users)
 	if *traceName != "" {
@@ -129,10 +142,25 @@ func run() error {
 	loop.Stop()
 	k.Run()
 	c.FlushTelemetry()
+	agg.FlushTelemetry(rec)
 	if rec != nil {
 		if err := rec.WriteFiles(*telDir, "simrun"); err != nil {
 			return fmt.Errorf("telemetry: %w", err)
 		}
+	}
+	if *archive != "" {
+		f, err := os.Create(*archive)
+		if err != nil {
+			return err
+		}
+		if err := trace.ExportAll(f, archived); err != nil {
+			f.Close()
+			return fmt.Errorf("trace archive: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("archived %d traces to %s\n", len(archived), *archive)
 	}
 
 	warm := sim.Time(10 * time.Second)
@@ -173,6 +201,12 @@ func run() error {
 		}
 		fmt.Printf("  %-24s %5.1f%%  (replicas=%d cores=%g)\n",
 			name, svc.CumulativeBusy()/capacity*100, svc.Replicas(), svc.Cores())
+	}
+	if agg != nil {
+		fmt.Println()
+		if err := agg.Snapshot().WriteTable(os.Stdout); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -22,19 +22,24 @@
 //
 // -telemetry-dir DIR enables the structured event log: every experiment
 // writes <id>.events.jsonl (controller decisions, reconfigs, drops),
-// <id>.metrics.prom (Prometheus text snapshot) and <id>.trace.json
-// (Chrome trace format — load at ui.perfetto.dev) into DIR. Artifacts
-// are byte-identical between serial and parallel runs of the same seed.
+// <id>.metrics.prom (Prometheus text snapshot, including per-service
+// per-phase latency histograms), <id>.trace.json (Chrome trace format —
+// load at ui.perfetto.dev), <id>.profile.txt (latency-attribution blame
+// tables; -slo adds the violation breakdown) and <id>.folded
+// (flamegraph.pl / tracedig input) into DIR. Artifacts are
+// byte-identical between serial and parallel runs of the same seed.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"sora/internal/experiment"
+	"sora/internal/profile"
 	"sora/internal/telemetry"
 )
 
@@ -56,6 +61,7 @@ func run() error {
 		parallel = flag.Int("parallel", 0, "worker pool size for independent simulations (0 = GOMAXPROCS)")
 		serial   = flag.Bool("serial", false, "force serial execution (same as -parallel 1)")
 		telDir   = flag.String("telemetry-dir", "", "directory for per-experiment telemetry artifacts (optional)")
+		slo      = flag.Duration("slo", 0, "SLO for the profile artifacts' violation breakdown (0 = disabled)")
 	)
 	flag.Parse()
 
@@ -108,13 +114,19 @@ func run() error {
 	// and simulation-event throughput go to stderr.
 	var opts []experiment.RunOption
 	var recs []*telemetry.Recorder
+	var profs []*profile.Aggregator
 	if *telDir != "" {
 		recs = make([]*telemetry.Recorder, len(selected))
+		profs = make([]*profile.Aggregator, len(selected))
 		for i, e := range selected {
 			recs[i] = telemetry.NewRecorder(e.ID)
+			profs[i] = profile.NewAggregator(*slo)
 		}
 		opts = append(opts, experiment.WithRecorders(func(i int, _ experiment.Experiment) *telemetry.Recorder {
 			return recs[i]
+		}))
+		opts = append(opts, experiment.WithProfiles(func(i int, _ experiment.Experiment) *profile.Aggregator {
+			return profs[i]
 		}))
 	}
 	if params.Workers() > 1 {
@@ -141,8 +153,17 @@ func run() error {
 
 	var firstErr error
 	for i, rec := range recs {
+		// The profile's phase histograms ride along in the Prometheus
+		// snapshot, so flush before the files are rendered.
+		profs[i].FlushTelemetry(rec)
 		if err := rec.WriteFiles(*telDir, selected[i].ID); err != nil {
 			fmt.Fprintf(os.Stderr, "sorabench: telemetry for %s: %v\n", selected[i].ID, err)
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+		if err := writeProfile(*telDir, selected[i].ID, profs[i].Snapshot()); err != nil {
+			fmt.Fprintf(os.Stderr, "sorabench: profile for %s: %v\n", selected[i].ID, err)
 			if firstErr == nil {
 				firstErr = err
 			}
@@ -169,6 +190,32 @@ func run() error {
 	fmt.Fprintf(os.Stderr, "[total: %d experiments, %d sim runs, %s events in %v wall time — %s events/s, %d workers]\n",
 		len(results), runs, fmtCount(events), wall.Round(time.Millisecond), fmtCount(uint64(rate)), params.Workers())
 	return firstErr
+}
+
+// writeProfile renders one experiment's latency attribution into
+// <id>.profile.txt (blame tables) and <id>.folded (flamegraph.pl /
+// tracedig input).
+func writeProfile(dir, id string, p *profile.Profile) error {
+	table, err := os.Create(filepath.Join(dir, id+".profile.txt"))
+	if err != nil {
+		return err
+	}
+	if err := p.WriteTable(table); err != nil {
+		table.Close()
+		return err
+	}
+	if err := table.Close(); err != nil {
+		return err
+	}
+	folded, err := os.Create(filepath.Join(dir, id+".folded"))
+	if err != nil {
+		return err
+	}
+	if err := profile.WriteFolded(folded, p); err != nil {
+		folded.Close()
+		return err
+	}
+	return folded.Close()
 }
 
 // fmtCount renders large event counts compactly (e.g. 12.3M).

@@ -1,0 +1,60 @@
+package cluster
+
+import (
+	"testing"
+
+	"sora/internal/sim"
+)
+
+// BenchmarkRequestVisit measures the full per-request cost of the visit
+// hot path — admission, CPU scheduling, downstream RPC, completion and
+// phase recording (Demand/CPU/Blocked on every span). Run with
+// -benchmem; the allocs/op figure is the budget the no-profiling path
+// must hold.
+func BenchmarkRequestVisit(b *testing.B) {
+	k := sim.NewKernel(1)
+	c, err := New(k, twoTier(8, 8), Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.SubmitMix()
+		k.Run()
+	}
+}
+
+// TestPhaseRecordingAllocFree pins the satellite guarantee that the span
+// phase decomposition added for latency attribution costs zero
+// allocations when no profiler is attached: recording Demand, on-CPU
+// time and drop/failure markers writes plain fields on spans the request
+// lifecycle allocates anyway. The budget below is the steady-state
+// allocation count of one two-tier request (request + 2 spans + events);
+// if phase recording ever starts allocating, the count rises and this
+// fails.
+func TestPhaseRecordingAllocFree(t *testing.T) {
+	k := sim.NewKernel(1)
+	c, err := New(k, twoTier(8, 8), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm up: first requests grow internal slices (completion log,
+	// kernel heap) that steady state reuses or amortizes.
+	for i := 0; i < 64; i++ {
+		c.SubmitMix()
+		k.Run()
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		c.SubmitMix()
+		k.Run()
+	})
+	// One request allocates the request state, two spans, the trace, the
+	// RPC closures and kernel events — comfortably under 40 objects. The
+	// bound is deliberately loose against scheduler jitter while still
+	// catching a per-visit or per-quantum allocation regression (which
+	// would add hundreds via the PS scheduler's resume churn).
+	if avg > 40 {
+		t.Fatalf("steady-state allocations per request = %.1f, want <= 40 (visit hot path regressed)", avg)
+	}
+}

@@ -21,6 +21,7 @@ type visit struct {
 	seqNext      int
 	outstanding  int      // dispatched, not yet answered child calls
 	blockedSince sim.Time // valid while outstanding > 0
+	cpuSince     sim.Time // valid while a CPU work phase is in flight
 	dropped      bool     // rejected at this service's admission queue
 	failed       bool     // a descendant call was dropped
 }
@@ -50,11 +51,24 @@ func (c *Cluster) startVisit(node *CallNode, parent *visit, depth int, onDone fu
 	return v
 }
 
-// begin runs when the visit is admitted past the thread pool.
+// begin runs when the visit is admitted past the thread pool. The
+// sampled demand is recorded on the span (ideal CPU time) and the PS
+// server's actual wall time is accounted on completion, so every span
+// carries its own contention inflation.
 func (v *visit) begin() {
-	v.span.Start = v.c.k.Now()
+	now := v.c.k.Now()
+	v.span.Start = now
 	demand := v.c.sampleDemand(v.node.ReqWork)
-	v.inst.cpu.Submit(demand, v.childrenPhase)
+	v.span.Demand += demand
+	v.cpuSince = now
+	v.inst.cpu.Submit(demand, v.reqWorkDone)
+}
+
+// reqWorkDone closes the request-side CPU phase and moves to downstream
+// dispatch.
+func (v *visit) reqWorkDone() {
+	v.span.CPU += time.Duration(v.c.k.Now() - v.cpuSince)
+	v.childrenPhase()
 }
 
 // childrenPhase dispatches downstream calls after request-side work.
@@ -139,13 +153,22 @@ func (v *visit) childAnswered() {
 // responsePhase runs response-side CPU work and finishes the visit.
 func (v *visit) responsePhase() {
 	demand := v.c.sampleDemand(v.node.ResWork)
-	v.inst.cpu.Submit(demand, v.finish)
+	v.span.Demand += demand
+	v.cpuSince = v.c.k.Now()
+	v.inst.cpu.Submit(demand, v.resWorkDone)
+}
+
+// resWorkDone closes the response-side CPU phase and completes the visit.
+func (v *visit) resWorkDone() {
+	v.span.CPU += time.Duration(v.c.k.Now() - v.cpuSince)
+	v.finish()
 }
 
 // finish stamps the span, frees the thread slot and notifies the parent.
 func (v *visit) finish() {
 	now := v.c.k.Now()
 	v.span.End = now
+	v.span.Failed = v.failed
 	v.inst.svc.spanLog.Add(now, v.span.Duration())
 	v.inst.visitDone()
 	if v.onDone != nil {
@@ -164,6 +187,7 @@ func (v *visit) drop() {
 	now := v.c.k.Now()
 	v.span.Start = now
 	v.span.End = now
+	v.span.Dropped = true
 	if v.onDone != nil {
 		fn := v.onDone
 		v.onDone = nil

@@ -132,6 +132,7 @@ func runAblationDeadline(p Params, w io.Writer) error {
 		refs:   []cluster.ResourceRef{ref},
 		target: workload.TraceUsers(workload.LargeVariationTrace(), dur, 1250),
 		tel:    p.Telemetry.Group("profile"),
+		prof:   p.Profile,
 	})
 	if err != nil {
 		return err
@@ -177,6 +178,7 @@ func runAblationDeadline(p Params, w io.Writer) error {
 			app:    buildChain(size),
 			target: workload.ConstantUsers(900),
 			tel:    valGrp.Unit(i, fmt.Sprintf("pool-%d", size)),
+			prof:   p.Profile,
 		})
 		if err != nil {
 			return 0, err
@@ -222,6 +224,7 @@ func runAblationDegree(p Params, w io.Writer) error {
 		refs:   []cluster.ResourceRef{fc.ref},
 		target: workload.TraceUsers(workload.LargeVariationTrace(), dur, fc.estUsers),
 		tel:    p.Telemetry,
+		prof:   p.Profile,
 	})
 	if err != nil {
 		return err
@@ -281,6 +284,7 @@ func runAblationLocalize(p Params, w io.Writer) error {
 		mix:    mix,
 		target: workload.ConstantUsers(900),
 		tel:    p.Telemetry,
+		prof:   p.Profile,
 	})
 	if err != nil {
 		return err

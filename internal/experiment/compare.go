@@ -98,6 +98,7 @@ func runCartStrategy(p Params, rc cartRunConfig) (*cartRunResult, error) {
 		refs:   []cluster.ResourceRef{ref},
 		target: workload.TraceUsers(rc.trace, dur, rc.peakUsers),
 		tel:    p.Telemetry,
+		prof:   p.Profile,
 	})
 	if err != nil {
 		return nil, err

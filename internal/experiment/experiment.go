@@ -20,6 +20,7 @@ import (
 	"sort"
 	"time"
 
+	"sora/internal/profile"
 	"sora/internal/telemetry"
 )
 
@@ -47,6 +48,13 @@ type Params struct {
 	// so exported artifacts are byte-identical between serial and
 	// parallel runs. Nil disables telemetry at zero cost.
 	Telemetry *telemetry.Recorder
+	// Profile, when non-nil, receives every completed trace from every
+	// cluster the experiment builds, for latency attribution. Unlike
+	// Telemetry it is shared as-is across parallel units: the aggregator
+	// only keeps commutative integer sums and sorts at render time, so
+	// its artifacts are byte-identical between serial and parallel runs
+	// without per-unit scoping. Nil disables profiling at zero cost.
+	Profile *profile.Aggregator
 }
 
 // unitParams returns a copy of p whose Telemetry points at the given

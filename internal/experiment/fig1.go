@@ -66,6 +66,7 @@ func runFig1(p Params, w io.Writer) error {
 			refs:   []cluster.ResourceRef{ref},
 			target: target,
 			tel:    tel,
+			prof:   p.Profile,
 		})
 		if err != nil {
 			return nil, err

@@ -60,6 +60,7 @@ func runFig12(p Params, w io.Writer) error {
 			refs:   []cluster.ResourceRef{ref},
 			target: workload.TraceUsers(workload.LargeVariationTrace(), dur, 3200),
 			tel:    tel,
+			prof:   p.Profile,
 		})
 		if err != nil {
 			return nil, err

@@ -63,6 +63,7 @@ func runFig4(p Params, w io.Writer) error {
 			mix:    topology.CartOnlyMix(app),
 			target: workload.ConstantUsers(users),
 			tel:    grp.Unit(i, fmt.Sprintf("threads-%d", threads)),
+			prof:   p.Profile,
 		})
 		if err != nil {
 			return result{}, err

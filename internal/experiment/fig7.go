@@ -44,6 +44,7 @@ func runFig7(p Params, w io.Writer) error {
 		refs:   []cluster.ResourceRef{ref},
 		target: workload.TraceUsers(workload.LargeVariationTrace(), dur, 1100),
 		tel:    p.Telemetry,
+		prof:   p.Profile,
 	})
 	if err != nil {
 		return err

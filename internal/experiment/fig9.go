@@ -207,6 +207,7 @@ func fig9Estimate(p Params, fc fig9Case) (int, error) {
 		refs:   []cluster.ResourceRef{fc.ref},
 		target: workload.TraceUsers(workload.LargeVariationTrace(), dur, fc.estUsers),
 		tel:    p.Telemetry,
+		prof:   p.Profile,
 	})
 	if err != nil {
 		return 0, err
@@ -246,6 +247,7 @@ func fig9Validate(p Params, fc fig9Case, size, users int) (float64, error) {
 		mix:    mix,
 		target: workload.ConstantUsers(users),
 		tel:    p.Telemetry,
+		prof:   p.Profile,
 	})
 	if err != nil {
 		return 0, err

@@ -8,6 +8,7 @@ import (
 	"sora/internal/core"
 	"sora/internal/dist"
 	"sora/internal/metrics"
+	"sora/internal/profile"
 	"sora/internal/sim"
 	"sora/internal/telemetry"
 	"sora/internal/trace"
@@ -71,6 +72,11 @@ type rigConfig struct {
 	// counters, span samples). Fan-out call sites pass a per-unit
 	// sub-recorder so parallel rigs never share a node.
 	tel *telemetry.Recorder
+
+	// prof, when non-nil, receives every completed trace for latency
+	// attribution. One order-independent aggregator is shared across all
+	// rigs of an experiment (see Params.Profile).
+	prof *profile.Aggregator
 }
 
 func newRig(cfg rigConfig) (*rig, error) {
@@ -107,6 +113,9 @@ func newRig(cfg rigConfig) (*rig, error) {
 	c.OnComplete(func(tr *trace.Trace) {
 		r.e2e.Add(k.Now(), tr.ResponseTime())
 	})
+	if cfg.prof != nil {
+		c.OnComplete(cfg.prof.Add)
+	}
 	return r, nil
 }
 

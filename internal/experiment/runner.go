@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"sora/internal/profile"
 	"sora/internal/sim"
 	"sora/internal/telemetry"
 )
@@ -145,6 +146,7 @@ type ProgressEvent struct {
 // runOptions collects the optional behaviours of RunMany.
 type runOptions struct {
 	recorder func(i int, e Experiment) *telemetry.Recorder
+	profiler func(i int, e Experiment) *profile.Aggregator
 	progress func(ProgressEvent)
 }
 
@@ -156,6 +158,14 @@ type RunOption func(*runOptions)
 // returned recorder becomes that run's Params.Telemetry.
 func WithRecorders(fn func(i int, e Experiment) *telemetry.Recorder) RunOption {
 	return func(o *runOptions) { o.recorder = fn }
+}
+
+// WithProfiles gives every experiment its own latency-attribution
+// aggregator: fn is called once per experiment and the returned
+// aggregator becomes that run's Params.Profile, collecting blame from
+// every trace the experiment's clusters complete.
+func WithProfiles(fn func(i int, e Experiment) *profile.Aggregator) RunOption {
+	return func(o *runOptions) { o.profiler = fn }
 }
 
 // WithProgress registers a live observer called at every experiment
@@ -187,6 +197,9 @@ func RunMany(p Params, exps []Experiment, opts ...RunOption) []RunResult {
 		pe := p
 		if o.recorder != nil {
 			pe.Telemetry = o.recorder(i, e)
+		}
+		if o.profiler != nil {
+			pe.Profile = o.profiler(i, e)
 		}
 		var buf bytes.Buffer
 		_, eventsBefore := RunStats()

@@ -56,6 +56,7 @@ func runSweep(p Params, sc sweepCase, sizes []int, thresholds []time.Duration, u
 			mix:    mix,
 			target: workload.ConstantUsers(sc.users),
 			tel:    grp.Unit(i, fmt.Sprintf("size-%d", size)),
+			prof:   p.Profile,
 		})
 		if err != nil {
 			return sweepPoint{}, err

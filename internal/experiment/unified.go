@@ -67,6 +67,7 @@ func runUnifiedExt(p Params, w io.Writer) error {
 			refs:   []cluster.ResourceRef{ref},
 			target: workload.TraceUsers(workload.SteepTriPhaseTrace(), dur, peakUsers),
 			tel:    tel,
+			prof:   p.Profile,
 		})
 		return r, ref, err
 	}

@@ -315,3 +315,45 @@ func BenchmarkBucketRates(b *testing.B) {
 		l.BucketRates(0, ms(100_000), 100*time.Millisecond, 200*time.Millisecond)
 	}
 }
+
+// TestHistogramBoundaries pins the half-open bin convention
+// [i*w, (i+1)*w): an observation exactly on a bin edge lands in the
+// higher bin, and one exactly on the last edge counts as overflow.
+func TestHistogramBoundaries(t *testing.T) {
+	w := 10 * time.Millisecond
+	h, err := NewHistogram(w, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Observe(0)          // first edge -> bin 0
+	h.Observe(w - 1)      // just under the first edge -> bin 0
+	h.Observe(w)          // exactly one bin width -> bin 1
+	h.Observe(10*w - 1)   // last representable value -> bin 9
+	h.Observe(10 * w)     // exactly the upper bound -> overflow
+	h.Observe(10*w + 1)   // beyond the last bin -> overflow
+	h.Observe(-time.Hour) // negative clamps to bin 0
+	bins := h.Bins()
+	if bins[0] != 3 {
+		t.Errorf("bin 0 = %d, want 3 (edge, sub-edge, clamped negative)", bins[0])
+	}
+	if bins[1] != 1 {
+		t.Errorf("bin 1 = %d, want 1 (exact bin-width observation)", bins[1])
+	}
+	if bins[9] != 1 {
+		t.Errorf("bin 9 = %d, want 1", bins[9])
+	}
+	if h.Overflow() != 2 {
+		t.Errorf("Overflow = %d, want 2 (exact upper bound plus beyond)", h.Overflow())
+	}
+	// Total must include overflow: every observation is counted somewhere.
+	if h.Total() != 7 {
+		t.Errorf("Total = %d, want 7", h.Total())
+	}
+	sum := h.Overflow()
+	for _, c := range bins {
+		sum += c
+	}
+	if sum != h.Total() {
+		t.Errorf("bins+overflow = %d, Total = %d; conservation violated", sum, h.Total())
+	}
+}

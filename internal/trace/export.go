@@ -11,18 +11,37 @@ import (
 // shape, standing in for the paper's "Request Tracing Management" layer
 // (OpenTracing-compliant collection into a trace warehouse). Exported
 // traces can be archived, diffed across runs, or fed to external
-// analysis tooling; Import round-trips them back into Trace values.
+// analysis tooling (cmd/tracedig); Import round-trips them back into
+// Trace values.
+//
+// Timestamps are nanoseconds of virtual time: the latency-attribution
+// profiler requires an exported archive to reproduce the in-process
+// blame profile bit-for-bit, so the archive must not round the kernel's
+// native resolution. Archives written by the earlier microsecond format
+// (*_us fields) are still importable; Export always writes the
+// nanosecond form.
 
 // SpanRecord is the serialized form of one span.
 type SpanRecord struct {
 	Service   string       `json:"service"`
 	Instance  string       `json:"instance,omitempty"`
 	Depth     int          `json:"depth"`
-	ArrivalUs int64        `json:"arrival_us"`
-	StartUs   int64        `json:"start_us"`
-	EndUs     int64        `json:"end_us"`
-	BlockedUs int64        `json:"blocked_us,omitempty"`
+	ArrivalNs int64        `json:"arrival_ns"`
+	StartNs   int64        `json:"start_ns"`
+	EndNs     int64        `json:"end_ns"`
+	BlockedNs int64        `json:"blocked_ns,omitempty"`
+	DemandNs  int64        `json:"demand_ns,omitempty"`
+	CPUNs     int64        `json:"cpu_ns,omitempty"`
+	Dropped   bool         `json:"dropped,omitempty"`
+	Failed    bool         `json:"failed,omitempty"`
 	Children  []SpanRecord `json:"children,omitempty"`
+
+	// Legacy microsecond fields: read by Import for archives produced
+	// before the nanosecond format, never written by Export.
+	ArrivalUs int64 `json:"arrival_us,omitempty"`
+	StartUs   int64 `json:"start_us,omitempty"`
+	EndUs     int64 `json:"end_us,omitempty"`
+	BlockedUs int64 `json:"blocked_us,omitempty"`
 }
 
 // TraceRecord is the serialized form of one trace.
@@ -37,10 +56,14 @@ func toRecord(s *Span) SpanRecord {
 		Service:   s.Service,
 		Instance:  s.Instance,
 		Depth:     s.Depth,
-		ArrivalUs: int64(s.Arrival / time.Microsecond),
-		StartUs:   int64(s.Start / time.Microsecond),
-		EndUs:     int64(s.End / time.Microsecond),
-		BlockedUs: int64(s.Blocked / time.Microsecond),
+		ArrivalNs: int64(s.Arrival),
+		StartNs:   int64(s.Start),
+		EndNs:     int64(s.End),
+		BlockedNs: int64(s.Blocked),
+		DemandNs:  int64(s.Demand),
+		CPUNs:     int64(s.CPU),
+		Dropped:   s.Dropped,
+		Failed:    s.Failed,
 	}
 	for _, c := range s.Children {
 		rec.Children = append(rec.Children, toRecord(c))
@@ -48,15 +71,32 @@ func toRecord(s *Span) SpanRecord {
 	return rec
 }
 
+// legacy reports whether the record was written by the microsecond
+// format: no nanosecond timestamps but at least one microsecond field.
+func (rec *SpanRecord) legacy() bool {
+	return rec.ArrivalNs == 0 && rec.StartNs == 0 && rec.EndNs == 0 &&
+		(rec.ArrivalUs != 0 || rec.StartUs != 0 || rec.EndUs != 0)
+}
+
 func fromRecord(rec SpanRecord) *Span {
 	s := &Span{
 		Service:  rec.Service,
 		Instance: rec.Instance,
 		Depth:    rec.Depth,
-		Arrival:  time.Duration(rec.ArrivalUs) * time.Microsecond,
-		Start:    time.Duration(rec.StartUs) * time.Microsecond,
-		End:      time.Duration(rec.EndUs) * time.Microsecond,
-		Blocked:  time.Duration(rec.BlockedUs) * time.Microsecond,
+		Arrival:  time.Duration(rec.ArrivalNs),
+		Start:    time.Duration(rec.StartNs),
+		End:      time.Duration(rec.EndNs),
+		Blocked:  time.Duration(rec.BlockedNs),
+		Demand:   time.Duration(rec.DemandNs),
+		CPU:      time.Duration(rec.CPUNs),
+		Dropped:  rec.Dropped,
+		Failed:   rec.Failed,
+	}
+	if rec.legacy() {
+		s.Arrival = time.Duration(rec.ArrivalUs) * time.Microsecond
+		s.Start = time.Duration(rec.StartUs) * time.Microsecond
+		s.End = time.Duration(rec.EndUs) * time.Microsecond
+		s.Blocked = time.Duration(rec.BlockedUs) * time.Microsecond
 	}
 	for _, c := range rec.Children {
 		s.Children = append(s.Children, fromRecord(c))
@@ -64,9 +104,8 @@ func fromRecord(rec SpanRecord) *Span {
 	return s
 }
 
-// Export writes the trace as one JSON object. Timestamps are microseconds
-// of virtual time (matching the paper's millisecond-granularity tracing
-// with headroom).
+// Export writes the trace as one JSON object with nanosecond virtual-time
+// fields.
 func Export(w io.Writer, t *Trace) error {
 	if t == nil || t.Root == nil {
 		return fmt.Errorf("trace: cannot export empty trace")
@@ -87,7 +126,8 @@ func ExportAll(w io.Writer, traces []*Trace) error {
 	return nil
 }
 
-// Import reads one JSON trace produced by Export.
+// Import reads one JSON trace produced by Export (either timestamp
+// format).
 func Import(r io.Reader) (*Trace, error) {
 	var rec TraceRecord
 	dec := json.NewDecoder(r)

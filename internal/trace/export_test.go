@@ -99,14 +99,17 @@ func TestImportAllEmptyInput(t *testing.T) {
 }
 
 func TestExportTimestampPrecision(t *testing.T) {
-	// Sub-microsecond precision is intentionally truncated; microseconds
-	// must be preserved exactly.
+	// The archive stores nanoseconds: the kernel's native resolution must
+	// round-trip exactly, or offline blame attribution could diverge from
+	// the in-process profile.
 	s := &Span{
 		Service: "svc",
-		Arrival: 1234567 * time.Microsecond,
-		Start:   1234568 * time.Microsecond,
-		End:     2234567 * time.Microsecond,
-		Blocked: 100 * time.Microsecond,
+		Arrival: 1234567891 * time.Nanosecond,
+		Start:   1234567892 * time.Nanosecond,
+		End:     2234567893 * time.Nanosecond,
+		Blocked: 100001 * time.Nanosecond,
+		Demand:  50003 * time.Nanosecond,
+		CPU:     60007 * time.Nanosecond,
 	}
 	var buf bytes.Buffer
 	if err := Export(&buf, &Trace{ID: 9, Type: "t", Root: s}); err != nil {
@@ -118,5 +121,51 @@ func TestExportTimestampPrecision(t *testing.T) {
 	}
 	if got.Root.Arrival != s.Arrival || got.Root.End != s.End || got.Root.Blocked != s.Blocked {
 		t.Errorf("timestamps changed: %+v", got.Root)
+	}
+	if got.Root.Demand != s.Demand || got.Root.CPU != s.CPU {
+		t.Errorf("phase fields changed: %+v", got.Root)
+	}
+}
+
+func TestExportRoundTripsPhaseMarkers(t *testing.T) {
+	dropped := &Span{Service: "cart-db", Depth: 1, Arrival: 5 * time.Millisecond,
+		Start: 5 * time.Millisecond, End: 5 * time.Millisecond, Dropped: true}
+	root := &Span{Service: "cart", Arrival: 0, Start: time.Millisecond,
+		End: 10 * time.Millisecond, Failed: true, Children: []*Span{dropped}}
+	var buf bytes.Buffer
+	if err := Export(&buf, &Trace{ID: 1, Type: "t", Root: root}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Import(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Root.Failed {
+		t.Error("Failed marker lost in round trip")
+	}
+	if len(got.Root.Children) != 1 || !got.Root.Children[0].Dropped {
+		t.Error("Dropped marker lost in round trip")
+	}
+}
+
+func TestImportLegacyMicrosecondArchive(t *testing.T) {
+	// Archives written before the nanosecond format carry *_us fields;
+	// Import must still understand them.
+	legacy := `{"id":3,"type":"getCart","root":{"service":"front-end","depth":0,` +
+		`"arrival_us":0,"start_us":1000,"end_us":100000,"blocked_us":80000,` +
+		`"children":[{"service":"cart","depth":1,"arrival_us":5000,"start_us":8000,"end_us":85000}]}}`
+	got, err := Import(strings.NewReader(legacy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ResponseTime() != 100*time.Millisecond {
+		t.Errorf("legacy response time = %v, want 100ms", got.ResponseTime())
+	}
+	if got.Root.Blocked != 80*time.Millisecond {
+		t.Errorf("legacy blocked = %v, want 80ms", got.Root.Blocked)
+	}
+	cart := got.FindSpan("cart")
+	if cart == nil || cart.Arrival != 5*time.Millisecond {
+		t.Errorf("legacy child timestamps wrong: %+v", cart)
 	}
 }

@@ -36,6 +36,28 @@ type Span struct {
 	// sum of child durations.
 	Blocked time.Duration
 
+	// Demand is the ideal CPU demand sampled for this visit (request-side
+	// plus response-side work): the service time the visit would need on
+	// an otherwise idle pod. The gap between actual on-CPU wall time and
+	// Demand is the latency inflation caused by processor sharing and
+	// multithreading overhead ("thrash").
+	Demand time.Duration
+
+	// CPU is the actual wall time the visit's work spent runnable on the
+	// pod's processor-sharing server, as reported by the PS server at
+	// each work phase's completion. CPU - Demand is PS-contention
+	// inflation; ProcessingTime() - CPU is time spent waiting for
+	// connection-pool slots (off-CPU, not blocked on downstream RPCs).
+	CPU time.Duration
+
+	// Dropped marks a visit rejected at a full admission queue. Dropped
+	// spans carry Start == End == rejection time and no phase data.
+	Dropped bool
+
+	// Failed marks a visit that ran to completion but lost a downstream
+	// call in its subtree to an admission drop.
+	Failed bool
+
 	Children []*Span
 }
 
@@ -119,6 +141,12 @@ func (t *Trace) SpanCount() int {
 // user request to the final response: starting at the root, it descends at
 // each node into the child with the largest wall-time duration. The
 // returned slice is ordered front-end first (depth 0 .. k).
+//
+// Tie-breaking rule: when two children have exactly equal wall-time
+// durations, the earliest-dispatched child (lowest index in Children,
+// i.e. call order) wins. Dispatch order is deterministic in the
+// simulator, so the critical path — and everything derived from it, such
+// as blame attribution — is stable across runs of the same seed.
 //
 // This matches the paper's definition ("the path of maximal duration that
 // starts with the user request and ends with the final response") and the

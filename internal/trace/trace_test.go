@@ -269,3 +269,59 @@ func TestWarehouseAllIsCopy(t *testing.T) {
 		t.Error("All() aliases internal storage")
 	}
 }
+
+// TestCriticalPathTieBreaksByDispatchOrder pins the documented rule:
+// equal-duration parallel children resolve to the earliest-dispatched
+// one (lowest Children index), keeping attribution deterministic.
+func TestCriticalPathTieBreaksByDispatchOrder(t *testing.T) {
+	ms := func(n int) sim.Time { return time.Duration(n) * time.Millisecond }
+	first := &Span{Service: "cart", Depth: 1, Arrival: ms(10), Start: ms(10), End: ms(50)}
+	second := &Span{Service: "catalogue", Depth: 1, Arrival: ms(5), Start: ms(5), End: ms(45)}
+	fe := &Span{
+		Service: "front-end", Depth: 0, Arrival: 0, Start: 0, End: ms(60),
+		Children: []*Span{first, second}, // both 40ms wall time
+	}
+	tr := &Trace{ID: 1, Type: "tie", Root: fe}
+	got := tr.CriticalPathServices()
+	want := []string{"front-end", "cart"}
+	if len(got) != len(want) || got[1] != want[1] {
+		t.Fatalf("CriticalPathServices = %v, want %v (first-dispatched wins ties)", got, want)
+	}
+}
+
+// TestCriticalPathChildOutlastsParentProcessing descends into a child
+// even when the child's span ends after the parent's own processing
+// window — the path follows structure (maximal-duration child), not
+// containment.
+func TestCriticalPathChildOutlastsParentProcessing(t *testing.T) {
+	ms := func(n int) sim.Time { return time.Duration(n) * time.Millisecond }
+	slow := &Span{Service: "cart-db", Depth: 2, Arrival: ms(10), Start: ms(10), End: ms(95)}
+	cart := &Span{
+		Service: "cart", Depth: 1, Arrival: ms(5), Start: ms(5), End: ms(96),
+		Blocked: 85 * time.Millisecond, Children: []*Span{slow},
+	}
+	fe := &Span{
+		Service: "front-end", Depth: 0, Arrival: 0, Start: 0, End: ms(100),
+		Blocked: 91 * time.Millisecond, Children: []*Span{cart},
+	}
+	tr := &Trace{ID: 1, Type: "deep", Root: fe}
+	got := tr.CriticalPathServices()
+	want := []string{"front-end", "cart", "cart-db"}
+	if len(got) != 3 {
+		t.Fatalf("CriticalPathServices = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("CriticalPathServices = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestCriticalPathSingleSpan covers the degenerate leaf-only trace.
+func TestCriticalPathSingleSpan(t *testing.T) {
+	tr := makeTraceAt(1, 50*time.Millisecond)
+	path := tr.CriticalPath()
+	if len(path) != 1 || path[0] != tr.Root {
+		t.Fatalf("CriticalPath = %v, want just the root span", path)
+	}
+}

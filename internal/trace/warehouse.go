@@ -71,6 +71,14 @@ func (w *Warehouse) evictBefore(cutoff sim.Time) {
 	}
 	w.evicted += uint64(i - w.head)
 	w.head = i
+	// Empty reset: when everything was evicted, rewind to the start of the
+	// backing array so it is reused instead of growing behind a dead
+	// prefix (a Prune after an idle window hits this path).
+	if w.head == len(w.traces) {
+		w.traces = w.traces[:0]
+		w.head = 0
+		return
+	}
 	// Amortized compaction: only shift the surviving suffix once the dead
 	// prefix dominates, keeping per-Add eviction O(1) amortized.
 	if w.head > len(w.traces)/2 && w.head > 1024 {

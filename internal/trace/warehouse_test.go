@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"testing"
+	"time"
+
+	"sora/internal/sim"
+)
+
+// TestWarehouseEvictionUnpinsTraces is a regression test for trace
+// pinning: eviction must nil the dead prefix slots immediately so the
+// evicted traces (and their span trees) become collectible even while
+// the backing array is retained for reuse.
+func TestWarehouseEvictionUnpinsTraces(t *testing.T) {
+	w := NewWarehouse(10 * time.Second)
+	for i := 1; i <= 30; i++ {
+		w.Add(makeTraceAt(ID(i), time.Duration(i)*time.Second))
+	}
+	if w.head == 0 {
+		t.Fatal("no eviction happened; head = 0")
+	}
+	for i := 0; i < w.head; i++ {
+		if w.traces[i] != nil {
+			t.Errorf("evicted slot %d still pins a trace (completed %v)", i, w.traces[i].CompletedAt())
+		}
+	}
+	// Live region must stay intact and ordered.
+	for i := w.head; i < len(w.traces); i++ {
+		if w.traces[i] == nil {
+			t.Fatalf("live slot %d is nil", i)
+		}
+		if i > w.head && w.traces[i].CompletedAt() < w.traces[i-1].CompletedAt() {
+			t.Fatalf("live region out of order at %d", i)
+		}
+	}
+}
+
+// TestWarehouseEmptyReset checks that evicting everything rewinds the
+// deque to the start of its backing array instead of leaving a dead
+// prefix that would grow on the next fill cycle.
+func TestWarehouseEmptyReset(t *testing.T) {
+	w := NewWarehouse(5 * time.Second)
+	for i := 1; i <= 8; i++ {
+		w.Add(makeTraceAt(ID(i), time.Duration(i)*time.Second))
+	}
+	w.Prune(sim.Time(time.Hour))
+	if w.Len() != 0 {
+		t.Fatalf("Len after full prune = %d, want 0", w.Len())
+	}
+	if w.head != 0 || len(w.traces) != 0 {
+		t.Fatalf("after full prune head=%d len=%d, want 0/0 (empty reset)", w.head, len(w.traces))
+	}
+	if cap(w.traces) == 0 {
+		t.Fatal("empty reset discarded the backing array instead of reusing it")
+	}
+	// The warehouse must keep working after the reset.
+	w.Add(makeTraceAt(100, 2*time.Hour))
+	if w.Len() != 1 {
+		t.Fatalf("Len after re-add = %d, want 1", w.Len())
+	}
+	if got := w.All(); len(got) != 1 || got[0].ID != 100 {
+		t.Fatalf("All after re-add = %v", got)
+	}
+}
+
+// TestWarehouseBackingStaysBounded drives a long steady stream through a
+// short retention window and asserts amortized compaction keeps the
+// backing slice proportional to the live set, not to the total traces
+// ever added.
+func TestWarehouseBackingStaysBounded(t *testing.T) {
+	w := NewWarehouse(10 * time.Second)
+	const n = 5000
+	for i := 1; i <= n; i++ {
+		w.Add(makeTraceAt(ID(i), time.Duration(i)*time.Second))
+	}
+	if w.Len() > 11 {
+		t.Fatalf("Len = %d, want <= 11 live traces", w.Len())
+	}
+	// Compaction triggers once the dead prefix passes 1024 and half the
+	// slice; the backing length must therefore stay well under n.
+	if len(w.traces) > 2100 {
+		t.Fatalf("backing slice len = %d after %d adds; compaction not bounding memory", len(w.traces), n)
+	}
+	if w.Added() != n {
+		t.Errorf("Added = %d, want %d", w.Added(), n)
+	}
+	if want := uint64(n - w.Len()); w.Evicted() != want {
+		t.Errorf("Evicted = %d, want %d", w.Evicted(), want)
+	}
+	// Surviving traces are the newest ones, still in completion order.
+	all := w.All()
+	for i, tr := range all {
+		if want := ID(n - len(all) + 1 + i); tr.ID != want {
+			t.Fatalf("All[%d].ID = %d, want %d", i, tr.ID, want)
+		}
+	}
+}

@@ -2,12 +2,15 @@
 # verify.sh — tier-1 verification for this repository (see ROADMAP.md).
 #
 # Runs vet, build, the full test suite, and the race detector over the
-# packages that contain concurrent code (the parallel experiment runner
-# and the sim kernel it fans out). The race step uses -short: every test
-# that exercises the concurrent paths (parMap, RunMany, the serial-vs-
-# parallel sweep equivalence, the cancel-churn kernel test) runs under
-# -short; the excluded tests are the minutes-long full-driver smoke runs,
-# which the non-race `go test ./...` step already covers.
+# packages that contain concurrent code (the parallel experiment runner,
+# the sim kernel it fans out, the telemetry tree and the shared profile
+# aggregator). The race step uses -short: every test that exercises the
+# concurrent paths (parMap, RunMany, the serial-vs-parallel sweep and
+# profile equivalence, the concurrent-Add aggregator order test, the
+# cancel-churn kernel test) runs under -short; the excluded tests are
+# the minutes-long full-driver smoke runs, which the non-race
+# `go test ./...` step already covers. `go vet ./...` covers every cmd/
+# (including cmd/tracedig) and internal/ package.
 set -eu
 cd "$(dirname "$0")"
 
@@ -29,6 +32,6 @@ echo "== go test ./..."
 go test ./...
 
 echo "== go test -race (concurrent packages)"
-go test -race -short ./internal/experiment ./internal/sim ./internal/telemetry
+go test -race -short ./internal/experiment ./internal/sim ./internal/telemetry ./internal/profile
 
 echo "verify: OK"
