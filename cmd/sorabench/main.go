@@ -147,9 +147,9 @@ func run() error {
 		}))
 	}
 	experiment.ResetRunStats()
-	start := time.Now()
+	start := time.Now() //soravet:allow wallclock benchmark timing measures real wall time by design
 	results := experiment.RunMany(params, selected, opts...)
-	wall := time.Since(start)
+	wall := time.Since(start) //soravet:allow wallclock benchmark timing measures real wall time by design
 
 	var firstErr error
 	for i, rec := range recs {

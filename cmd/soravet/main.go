@@ -1,0 +1,79 @@
+// Command soravet is the repository's determinism and telemetry linter:
+// a static-analysis gate (stdlib go/ast + go/types, no external deps)
+// that machine-checks the invariants the reproduction's byte-identical
+// artifacts rest on. See internal/lint for the check catalog and
+// DESIGN.md §Static analysis for the full contract.
+//
+// Usage:
+//
+//	soravet [-checks wallclock,maporder] [-json] [packages]
+//	soravet -list
+//
+// Packages are go-tool-style patterns relative to the module root
+// (default "./..."). Findings print as "file:line:col: [check] message"
+// and any finding exits 1; errors exit 2. Deliberate violations opt out
+// with a //soravet:allow <check> <reason> directive on (or directly
+// above) the offending line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sora/internal/lint"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: soravet [-checks names] [-json] [packages]\n       soravet -list\n\n")
+		flag.PrintDefaults()
+	}
+	list := flag.Bool("list", false, "print the check catalog and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array instead of text")
+	checksFlag := flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	dir := flag.String("C", ".", "directory whose enclosing module is analyzed")
+	flag.Parse()
+
+	if *list {
+		for _, c := range lint.Catalog() {
+			fmt.Printf("%-11s %s\n", c.Name, c.Doc)
+		}
+		return
+	}
+
+	root, err := lint.FindModuleRoot(*dir)
+	if err != nil {
+		fatal(err)
+	}
+	var names []string
+	if *checksFlag != "" {
+		names = strings.Split(*checksFlag, ",")
+	}
+	findings, err := lint.Run(root, lint.Options{Patterns: flag.Args(), Checks: names})
+	if err != nil {
+		fatal(err)
+	}
+	if *jsonOut {
+		if err := lint.WriteJSON(os.Stdout, findings); err != nil {
+			fatal(err)
+		}
+	} else {
+		if err := lint.WriteText(os.Stdout, findings); err != nil {
+			fatal(err)
+		}
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "soravet: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// fatal reports a hard error (load/type-check failure, bad flags) and
+// exits 2, keeping exit 1 unambiguous: "the code has findings".
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "soravet:", err)
+	os.Exit(2)
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"sora/internal/cluster"
@@ -153,6 +154,10 @@ func (m *SCGModel) CriticalService(now sim.Time) (string, error) {
 		util := m.mon.MeanUtil(name, since, now)
 		candidates = append(candidates, candidate{name: name, pcc: pcc, util: util})
 	}
+	// perSvc is a map, so the collection order above is nondeterministic;
+	// sort by name so the strict-> argmax below breaks PCC ties toward
+	// the lexicographically smallest service on every run.
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i].name < candidates[j].name })
 	if len(candidates) == 0 {
 		return "", fmt.Errorf("core: no service produced a usable correlation over the window")
 	}

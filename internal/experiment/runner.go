@@ -204,9 +204,9 @@ func RunMany(p Params, exps []Experiment, opts ...RunOption) []RunResult {
 		var buf bytes.Buffer
 		_, eventsBefore := RunStats()
 		notify(ProgressEvent{Index: i, Total: len(exps), Experiment: e})
-		start := time.Now()
+		start := time.Now() //soravet:allow wallclock progress reporting measures real per-experiment wall time
 		err := e.Run(pe, &buf)
-		wall := time.Since(start)
+		wall := time.Since(start) //soravet:allow wallclock progress reporting measures real per-experiment wall time
 		notify(ProgressEvent{Index: i, Total: len(exps), Experiment: e, Done: true, Err: err, Wall: wall})
 		_, eventsAfter := RunStats()
 		return RunResult{

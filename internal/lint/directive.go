@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"strings"
+)
+
+// directiveCheck is the pseudo-check name that directive validation
+// findings are reported under. It is always on: directives are part of
+// the framework, not an optional pass.
+const directiveCheck = "directive"
+
+// directivePrefix introduces every soravet directive comment. The only
+// verb is "allow"; anything else under the soravet: namespace is
+// reported so typos fail instead of silently not suppressing.
+const directivePrefix = "//soravet:"
+
+// directive is one parsed //soravet:allow comment.
+type directive struct {
+	file   string // finding-relative path
+	line   int    // line the comment sits on
+	col    int
+	check  string // check name being allowed
+	reason string // mandatory justification
+	bad    string // non-empty: validation error, directive is inert
+	used   bool   // set when it suppresses at least one finding
+}
+
+// scanDirectives extracts every soravet directive from the package's
+// comments, pre-validating verb, check name and reason.
+func scanDirectives(m *Module, p *Package) []*directive {
+	known := make(map[string]bool)
+	for _, c := range Catalog() {
+		if c.Run != nil {
+			known[c.Name] = true
+		}
+	}
+	var out []*directive
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, directivePrefix)
+				if !ok {
+					continue
+				}
+				posn := m.Fset.Position(c.Pos())
+				d := &directive{file: relFile(m.Root, posn.Filename), line: posn.Line, col: posn.Column}
+				verb, args, _ := strings.Cut(rest, " ")
+				switch {
+				case verb != "allow":
+					d.bad = fmt.Sprintf("unknown soravet directive %q (the only verb is //soravet:allow <check> <reason>)", "soravet:"+verb)
+				default:
+					name, reason, _ := strings.Cut(strings.TrimSpace(args), " ")
+					d.check = name
+					d.reason = strings.TrimSpace(reason)
+					switch {
+					case name == "":
+						d.bad = "//soravet:allow needs a check name and a reason"
+					case !known[name]:
+						d.bad = fmt.Sprintf("//soravet:allow names unknown check %q (run soravet -list for the catalog)", name)
+					case d.reason == "":
+						d.bad = fmt.Sprintf("//soravet:allow %s needs a reason explaining why the violation is deliberate", name)
+					}
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// suppresses reports whether d covers a finding: same check, same file,
+// and the finding sits on the directive's line (trailing comment) or
+// the line immediately below (standalone comment above the code).
+func (d *directive) suppresses(f Finding) bool {
+	return d.bad == "" && d.check == f.Check && d.file == f.File &&
+		(f.Line == d.line || f.Line == d.line+1)
+}
+
+// applyDirectives removes suppressed findings and appends directive
+// validation findings: malformed directives always, unused ones only
+// when the full check suite ran (a directive for an unselected check
+// would otherwise look unused).
+func applyDirectives(findings []Finding, dirs []*directive, allChecks bool) []Finding {
+	kept := findings[:0]
+	for _, f := range findings {
+		suppressed := false
+		for _, d := range dirs {
+			if d.suppresses(f) {
+				d.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, f)
+		}
+	}
+	for _, d := range dirs {
+		switch {
+		case d.bad != "":
+			kept = append(kept, Finding{File: d.file, Line: d.line, Col: d.col, Check: directiveCheck, Msg: d.bad})
+		case allChecks && !d.used:
+			kept = append(kept, Finding{
+				File: d.file, Line: d.line, Col: d.col, Check: directiveCheck,
+				Msg: fmt.Sprintf("unused //soravet:allow %s: no %s finding on this line or the next — remove the directive", d.check, d.check),
+			})
+		}
+	}
+	return kept
+}
+
+// reporter is the callback type checks use; declared here so check
+// files read uniformly.
+type reporter = func(pos token.Pos, msg string)

@@ -1,0 +1,147 @@
+package lint
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the fixture golden files with the current output")
+
+// TestFixtures runs each check against its fixture mini-module under
+// testdata/ and compares the full text output against the golden file.
+// Every fixture seeds positive hits, negative (clean) shapes, and a
+// directive-suppressed variant, so the goldens pin all three behaviors
+// at once.
+func TestFixtures(t *testing.T) {
+	tests := []struct {
+		fixture string
+		checks  []string // nil runs the full suite (directive validation included)
+	}{
+		{"wallclock", []string{"wallclock"}},
+		{"globalrand", []string{"globalrand"}},
+		{"maporder", []string{"maporder"}},
+		{"nilrecv", []string{"nilrecv"}},
+		{"eventname", []string{"eventname"}},
+		{"directive", nil},
+	}
+	for _, tt := range tests {
+		t.Run(tt.fixture, func(t *testing.T) {
+			root := filepath.Join("testdata", tt.fixture)
+			findings, err := Run(root, Options{Checks: tt.checks})
+			if err != nil {
+				t.Fatalf("Run(%s): %v", root, err)
+			}
+			var buf bytes.Buffer
+			if err := WriteText(&buf, findings); err != nil {
+				t.Fatal(err)
+			}
+			golden := filepath.Join(root, "expect.golden")
+			if *update {
+				if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden (run go test ./internal/lint -update): %v", err)
+			}
+			if got := buf.String(); got != string(want) {
+				t.Errorf("findings mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+			}
+		})
+	}
+}
+
+// TestFixtureSuppressionCounts asserts the directive mechanism is
+// actually exercised: each check fixture contains at least one
+// //soravet:allow that suppresses a finding, which must therefore be
+// absent from the output.
+func TestFixtureSuppressionCounts(t *testing.T) {
+	for _, fixture := range []string{"wallclock", "globalrand", "maporder", "nilrecv", "eventname"} {
+		findings, err := Run(filepath.Join("testdata", fixture), Options{})
+		if err != nil {
+			t.Fatalf("Run(%s): %v", fixture, err)
+		}
+		for _, f := range findings {
+			if f.Check == directiveCheck {
+				t.Errorf("%s: directive finding in a fixture whose directives should all be valid and used: %s", fixture, f)
+			}
+		}
+	}
+}
+
+// TestUnmatchedPatternErrors pins the CLI contract that a typo'd
+// package pattern is a hard error rather than a silently-passing
+// no-op gate.
+func TestUnmatchedPatternErrors(t *testing.T) {
+	_, err := Run(filepath.Join("testdata", "wallclock"), Options{
+		Patterns: []string{"./internal/...", "./no/such/dir"},
+		Checks:   []string{"wallclock"},
+	})
+	if err == nil || !strings.Contains(err.Error(), "matched no packages") {
+		t.Errorf("Run with unmatched pattern: err = %v, want 'matched no packages'", err)
+	}
+}
+
+// TestSelectChecks covers the -checks selector including rejection of
+// unknown names.
+func TestSelectChecks(t *testing.T) {
+	got, err := selectChecks([]string{"maporder", " wallclock"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Name != "maporder" || got[1].Name != "wallclock" {
+		t.Errorf("selectChecks = %v", got)
+	}
+	if _, err := selectChecks([]string{"nope"}); err == nil {
+		t.Error("selectChecks accepted an unknown check name")
+	}
+}
+
+// TestMatchPatterns covers the package-pattern matcher used by the CLI
+// positional arguments.
+func TestMatchPatterns(t *testing.T) {
+	cases := []struct {
+		rel  string
+		pats []string
+		want bool
+	}{
+		{"internal/sim", nil, true},
+		{"internal/sim", []string{"./..."}, true},
+		{"internal/sim", []string{"./internal/..."}, true},
+		{"internal/sim", []string{"./internal/sim"}, true},
+		{"internal/simulator", []string{"./internal/sim"}, false},
+		{"internal/simulator", []string{"./internal/sim/..."}, false},
+		{"cmd/soravet", []string{"./internal/..."}, false},
+		{".", []string{"."}, true},
+		{".", []string{"./cmd/..."}, false},
+	}
+	for _, c := range cases {
+		if got := matchPatterns(c.rel, c.pats); got != c.want {
+			t.Errorf("matchPatterns(%q, %v) = %v, want %v", c.rel, c.pats, got, c.want)
+		}
+	}
+}
+
+// TestCatalog pins the catalog shape the -list flag and DESIGN.md
+// document: five analysis checks plus the directive validator, each
+// with a doc line.
+func TestCatalog(t *testing.T) {
+	cat := Catalog()
+	var names []string
+	for _, c := range cat {
+		names = append(names, c.Name)
+		if c.Doc == "" {
+			t.Errorf("check %s has no doc line", c.Name)
+		}
+	}
+	want := "wallclock globalrand maporder nilrecv eventname directive"
+	if got := strings.Join(names, " "); got != want {
+		t.Errorf("catalog = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,291 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// This file is the module loader: it discovers every package under a
+// module root, parses it with comments (the directive scanner needs
+// them), topologically sorts packages by their intra-module imports and
+// type-checks them in dependency order. Imports outside the module
+// (the standard library) are resolved by the stdlib source importer, so
+// the whole pipeline stays on go/parser + go/types with no external
+// dependencies and no generated export data.
+
+// Package is one parsed and type-checked package of the module.
+type Package struct {
+	ImportPath string // full import path, e.g. "sora/internal/sim"
+	RelDir     string // slash-separated dir relative to module root ("." at root)
+	Dir        string // absolute directory
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+}
+
+// Module is a fully loaded module tree ready for checks.
+type Module struct {
+	Root string // absolute directory containing go.mod
+	Path string // module path declared in go.mod
+	Fset *token.FileSet
+	Pkgs []*Package // sorted by import path
+}
+
+// FindModuleRoot walks up from dir to the nearest directory containing
+// a go.mod file.
+func FindModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for d := abs; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("no go.mod found in or above %s", abs)
+		}
+		d = parent
+	}
+}
+
+// modulePath extracts the declared module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			p := strings.TrimSpace(rest)
+			p = strings.Trim(p, `"`)
+			if p != "" {
+				return p, nil
+			}
+		}
+	}
+	return "", fmt.Errorf("%s: no module declaration", gomod)
+}
+
+// skipDir reports whether a directory subtree is excluded from
+// analysis: VCS metadata, testdata fixtures (they deliberately contain
+// violations), and underscore/dot-prefixed directories the go tool
+// ignores.
+func skipDir(name string) bool {
+	return name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")
+}
+
+// discover returns every directory under root holding at least one
+// non-test .go file, as slash-separated paths relative to root.
+func discover(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if path != root && skipDir(d.Name()) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !sourceFile(d.Name()) {
+			return nil
+		}
+		rel, err := filepath.Rel(root, filepath.Dir(path))
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		if len(dirs) == 0 || dirs[len(dirs)-1] != rel {
+			dirs = append(dirs, rel)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// sourceFile reports whether name is a non-test Go source file the
+// loader should parse.
+func sourceFile(name string) bool {
+	return strings.HasSuffix(name, ".go") &&
+		!strings.HasSuffix(name, "_test.go") &&
+		!strings.HasPrefix(name, ".") &&
+		!strings.HasPrefix(name, "_")
+}
+
+// LoadModule parses and type-checks every package under root. It
+// returns an error if any file fails to parse or any package fails to
+// type-check: the linter analyzes compiling code only.
+func LoadModule(root string) (*Module, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := discover(root)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	byPath := make(map[string]*Package, len(dirs))
+	var order []string // import paths in discovery order
+	for _, rel := range dirs {
+		importPath := modPath
+		if rel != "." {
+			importPath = modPath + "/" + rel
+		}
+		dir := filepath.Join(root, filepath.FromSlash(rel))
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		var files []*ast.File
+		for _, e := range entries {
+			if e.IsDir() || !sourceFile(e.Name()) {
+				continue
+			}
+			f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil,
+				parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		if len(files) == 0 {
+			continue
+		}
+		byPath[importPath] = &Package{ImportPath: importPath, RelDir: rel, Dir: dir, Files: files}
+		order = append(order, importPath)
+	}
+
+	sorted, err := topoSort(order, byPath, modPath)
+	if err != nil {
+		return nil, err
+	}
+
+	imp := &chainImporter{
+		local: make(map[string]*types.Package, len(sorted)),
+		std:   importer.ForCompiler(fset, "source", nil),
+	}
+	for _, path := range sorted {
+		p := byPath[path]
+		p.Info = &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+		}
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(path, fset, p.Files, p.Info)
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %w", path, err)
+		}
+		p.Pkg = tpkg
+		imp.local[path] = tpkg
+	}
+
+	pkgs := make([]*Package, 0, len(byPath))
+	for _, p := range byPath {
+		pkgs = append(pkgs, p)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].ImportPath < pkgs[j].ImportPath })
+	return &Module{Root: root, Path: modPath, Fset: fset, Pkgs: pkgs}, nil
+}
+
+// topoSort orders import paths so that every intra-module dependency
+// precedes its importers. Imports outside the module are ignored here
+// (the chain importer resolves them).
+func topoSort(paths []string, byPath map[string]*Package, modPath string) ([]string, error) {
+	const (
+		unvisited = 0
+		visiting  = 1
+		done      = 2
+	)
+	state := make(map[string]int, len(paths))
+	out := make([]string, 0, len(paths))
+	var visit func(path string, stack []string) error
+	visit = func(path string, stack []string) error {
+		switch state[path] {
+		case done:
+			return nil
+		case visiting:
+			return fmt.Errorf("import cycle: %s", strings.Join(append(stack, path), " -> "))
+		}
+		state[path] = visiting
+		p := byPath[path]
+		deps := make(map[string]bool)
+		for _, f := range p.Files {
+			for _, spec := range f.Imports {
+				dep := strings.Trim(spec.Path.Value, `"`)
+				if dep == modPath || strings.HasPrefix(dep, modPath+"/") {
+					if _, ok := byPath[dep]; !ok {
+						return fmt.Errorf("%s imports %s, which has no Go files under the module root", path, dep)
+					}
+					deps[dep] = true
+				}
+			}
+		}
+		sortedDeps := make([]string, 0, len(deps))
+		for d := range deps {
+			sortedDeps = append(sortedDeps, d)
+		}
+		sort.Strings(sortedDeps)
+		for _, d := range sortedDeps {
+			if err := visit(d, append(stack, path)); err != nil {
+				return err
+			}
+		}
+		state[path] = done
+		out = append(out, path)
+		return nil
+	}
+	sorted := append([]string(nil), paths...)
+	sort.Strings(sorted)
+	for _, p := range sorted {
+		if err := visit(p, nil); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// chainImporter resolves intra-module imports from the packages already
+// type-checked this load, and everything else (the standard library)
+// through the stdlib source importer sharing the same FileSet.
+type chainImporter struct {
+	local map[string]*types.Package
+	std   types.Importer
+}
+
+func (c *chainImporter) Import(path string) (*types.Package, error) {
+	return c.ImportFrom(path, "", 0)
+}
+
+func (c *chainImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if p, ok := c.local[path]; ok {
+		return p, nil
+	}
+	if from, ok := c.std.(types.ImporterFrom); ok {
+		return from.ImportFrom(path, dir, mode)
+	}
+	return c.std.Import(path)
+}

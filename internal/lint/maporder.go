@@ -1,0 +1,238 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// checkMaporder flags `range` statements over map-typed expressions
+// whose body emits in iteration order — exactly the bug class the
+// byte-identical serial-vs-parallel goldens exist to catch, surfaced at
+// compile time instead. "Emits" means: appends to a slice, calls a
+// write/print/publish-style sink method or fmt printer, or sends on a
+// channel. Commutative uses (summing into a counter map, deleting keys,
+// membership tests) are not flagged.
+//
+// Two shapes of emission are recognized as deterministic and allowed:
+//
+//   - the collect-keys idiom — a body that is exactly
+//     `keys = append(keys, k)` for the range key, sorted before use;
+//   - collect-then-sort — the body only appends to slices, and every
+//     appended slice is passed to a sort call (sort.*, slices.*, or a
+//     local sortXxx helper) in the statements immediately following
+//     the loop.
+func checkMaporder(m *Module, p *Package, report reporter) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var list []ast.Stmt
+			switch n := n.(type) {
+			case *ast.BlockStmt:
+				list = n.List
+			case *ast.CaseClause:
+				list = n.Body
+			case *ast.CommClause:
+				list = n.Body
+			default:
+				return true
+			}
+			for i, stmt := range list {
+				rng := unwrapRange(stmt)
+				if rng == nil {
+					continue
+				}
+				t := p.Info.TypeOf(rng.X)
+				if t == nil {
+					continue
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					continue
+				}
+				checkOneMapRange(p, rng, list[i+1:], report)
+			}
+			return true
+		})
+	}
+}
+
+// unwrapRange returns the RangeStmt behind stmt, looking through
+// labels, or nil.
+func unwrapRange(stmt ast.Stmt) *ast.RangeStmt {
+	if l, ok := stmt.(*ast.LabeledStmt); ok {
+		stmt = l.Stmt
+	}
+	rng, _ := stmt.(*ast.RangeStmt)
+	return rng
+}
+
+// checkOneMapRange analyzes a single map-range given the statements
+// that follow it in the enclosing block (for the collect-then-sort
+// allowance).
+func checkOneMapRange(p *Package, rng *ast.RangeStmt, rest []ast.Stmt, report reporter) {
+	if isCollectKeysIdiom(p.Info, rng) {
+		return
+	}
+	dests, hard := emissions(p.Info, rng.Body)
+	if hard != "" {
+		report(rng.Pos(), fmt.Sprintf(
+			"map iteration order leaks into output: the range body %s; collect the keys, sort them, then emit (//soravet:allow maporder <reason> if the sink is genuinely order-insensitive)", hard))
+		return
+	}
+	if len(dests) == 0 {
+		return
+	}
+	covered := sortedAfter(p.Info, rest)
+	for _, d := range dests {
+		if !covered[d] {
+			report(rng.Pos(), fmt.Sprintf(
+				"map iteration order leaks into %s: appended in the range body but not sorted immediately after the loop; sort it, or collect sorted keys first (//soravet:allow maporder <reason> if order is immaterial)", d))
+			return
+		}
+	}
+}
+
+// isCollectKeysIdiom reports whether the range body is exactly one
+// append of the range key to a slice — the sanctioned prelude to
+// sorting the keys (not necessarily in the very next statement).
+func isCollectKeysIdiom(info *types.Info, rng *ast.RangeStmt) bool {
+	keyIdent, ok := rng.Key.(*ast.Ident)
+	if !ok || keyIdent.Name == "_" {
+		return false
+	}
+	if rng.Value != nil {
+		if v, ok := rng.Value.(*ast.Ident); !ok || v.Name != "_" {
+			return false
+		}
+	}
+	if len(rng.Body.List) != 1 {
+		return false
+	}
+	asg, ok := rng.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(asg.Rhs) != 1 {
+		return false
+	}
+	call, ok := asg.Rhs[0].(*ast.CallExpr)
+	if !ok || !isBuiltin(info, call.Fun, "append") || len(call.Args) != 2 {
+		return false
+	}
+	arg, ok := call.Args[1].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	keyObj := info.Defs[keyIdent]
+	return keyObj != nil && info.Uses[arg] == keyObj
+}
+
+// emitMethods are method/function names treated as ordered sinks when
+// called inside a map-range body.
+var emitMethods = map[string]bool{
+	"Write":       true,
+	"WriteString": true,
+	"WriteByte":   true,
+	"WriteRune":   true,
+	"Print":       true,
+	"Printf":      true,
+	"Println":     true,
+	"Fprint":      true,
+	"Fprintf":     true,
+	"Fprintln":    true,
+	"Publish":     true,
+	"AddCounter":  true,
+	"SetGauge":    true,
+	"AddSpan":     true,
+}
+
+// emissions scans the range body and splits its emissions into
+// sortable appends (returned as the ExprString of each destination
+// slice, deduplicated in first-seen order) and hard emissions (sink
+// writes, prints, channel sends — described in the second return) that
+// no post-loop sort can repair.
+func emissions(info *types.Info, body ast.Node) (dests []string, hard string) {
+	// Appends of the form `dest = append(dest, ...)` are sanctioned:
+	// their effect is sortable after the loop.
+	sanctioned := make(map[*ast.CallExpr]string)
+	ast.Inspect(body, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+			return true
+		}
+		if call, ok := asg.Rhs[0].(*ast.CallExpr); ok && isBuiltin(info, call.Fun, "append") {
+			sanctioned[call] = types.ExprString(asg.Lhs[0])
+		}
+		return true
+	})
+	seen := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if hard != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			hard = "sends on a channel"
+			return false
+		case *ast.CallExpr:
+			if dest, ok := sanctioned[n]; ok {
+				if !seen[dest] {
+					seen[dest] = true
+					dests = append(dests, dest)
+				}
+				return true
+			}
+			if isBuiltin(info, n.Fun, "append") {
+				hard = "appends to a slice"
+				return false
+			}
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && emitMethods[sel.Sel.Name] {
+				hard = "calls " + sel.Sel.Name
+				return false
+			}
+		}
+		return true
+	})
+	return dests, hard
+}
+
+// sortedAfter inspects the statements immediately following a map
+// range, consuming the leading run of sort calls — sort.X(...),
+// slices.X(...), or a call to a local function named sortXxx — and
+// returns the ExprStrings of every argument they cover.
+func sortedAfter(info *types.Info, rest []ast.Stmt) map[string]bool {
+	covered := make(map[string]bool)
+	for _, stmt := range rest {
+		es, ok := stmt.(*ast.ExprStmt)
+		if !ok {
+			break
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok || !isSortCall(info, call) {
+			break
+		}
+		for _, arg := range call.Args {
+			covered[types.ExprString(arg)] = true
+		}
+	}
+	return covered
+}
+
+// isSortCall recognizes the sorting shapes allowed to launder a
+// collect-then-sort map range.
+func isSortCall(info *types.Info, call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return len(fun.Name) > 4 && fun.Name[:4] == "sort"
+	case *ast.SelectorExpr:
+		pkgPath, _, ok := pkgFuncCallee(info, &ast.CallExpr{Fun: fun})
+		return ok && (pkgPath == "sort" || pkgPath == "slices")
+	}
+	return false
+}
+
+// isBuiltin reports whether fun is a use of the named Go builtin.
+func isBuiltin(info *types.Info, fun ast.Expr, name string) bool {
+	id, ok := fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = info.Uses[id].(*types.Builtin)
+	return ok
+}

@@ -1,0 +1,83 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// checkNilrecv enforces the telemetry disabled-path contract: every
+// exported pointer-receiver method declared in a package named
+// "telemetry" must begin with a nil-receiver guard
+//
+//	func (r *Recorder) Publish(...) {
+//		if r == nil {
+//			return
+//		}
+//		...
+//
+// so that a run with telemetry disabled (nil recorder threaded
+// everywhere) pays exactly one pointer test and zero allocations per
+// call site. Value receivers and unexported methods (called only after
+// an exported method has already guarded) are exempt.
+func checkNilrecv(m *Module, p *Package, report reporter) {
+	if p.Pkg.Name() != "telemetry" {
+		return
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv == nil || !fn.Name.IsExported() || fn.Body == nil {
+				continue
+			}
+			recvField := fn.Recv.List[0]
+			if _, ptr := recvField.Type.(*ast.StarExpr); !ptr {
+				continue
+			}
+			var recvName *ast.Ident
+			if len(recvField.Names) == 1 {
+				recvName = recvField.Names[0]
+			}
+			if recvName == nil || recvName.Name == "_" || !startsWithNilGuard(p, fn.Body, recvName) {
+				report(fn.Pos(), fmt.Sprintf(
+					"exported pointer-receiver method %s must begin with `if %s == nil` (zero-alloc disabled-telemetry contract)",
+					fn.Name.Name, recvDisplayName(recvName)))
+			}
+		}
+	}
+}
+
+// recvDisplayName names the receiver for the finding message, using a
+// placeholder when the method has no usable receiver identifier.
+func recvDisplayName(recv *ast.Ident) string {
+	if recv == nil || recv.Name == "_" {
+		return "<receiver>"
+	}
+	return recv.Name
+}
+
+// startsWithNilGuard reports whether the body's first statement is an
+// if-statement comparing the receiver against nil with == (either
+// operand order).
+func startsWithNilGuard(p *Package, body *ast.BlockStmt, recv *ast.Ident) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	ifs, ok := body.List[0].(*ast.IfStmt)
+	if !ok || ifs.Init != nil {
+		return false
+	}
+	cond, ok := ifs.Cond.(*ast.BinaryExpr)
+	if !ok || cond.Op.String() != "==" {
+		return false
+	}
+	recvObj := p.Info.Defs[recv]
+	isRecv := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && recvObj != nil && p.Info.Uses[id] == recvObj
+	}
+	isNil := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	return isRecv(cond.X) && isNil(cond.Y) || isNil(cond.X) && isRecv(cond.Y)
+}

@@ -1,0 +1,28 @@
+// Package tool is a directive fixture: the //soravet:allow comments
+// themselves are validated.
+package tool
+
+import "time"
+
+// Stamp reads the wall clock behind a valid, used directive; clean.
+func Stamp() time.Time {
+	//soravet:allow wallclock fixture demonstrates a deliberate wall-time read
+	return time.Now()
+}
+
+//soravet:allow nosuchcheck this check name does not exist
+var a = 1
+
+//soravet:allow wallclock
+var b = 2
+
+//soravet:allow
+var c = 3
+
+//soravet:deny wallclock unknown verb
+var d = 4
+
+// The next directive is well-formed but suppresses nothing; a finding.
+//
+//soravet:allow wallclock nothing on the next line reads the clock
+var e = 5

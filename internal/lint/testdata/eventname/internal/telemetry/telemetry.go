@@ -1,0 +1,16 @@
+// Package telemetry is an eventname fixture: a minimal stand-in for
+// the real recorder, matching on package name + method name.
+package telemetry
+
+// Recorder is the fixture event sink.
+type Recorder struct {
+	kinds []string
+}
+
+// Publish records one event kind.
+func (r *Recorder) Publish(at int64, kind string, attrs ...string) {
+	if r == nil {
+		return
+	}
+	r.kinds = append(r.kinds, kind)
+}

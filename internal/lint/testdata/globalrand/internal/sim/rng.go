@@ -1,0 +1,10 @@
+// Package sim is a globalrand fixture: the one package allowed to mint
+// PCG streams.
+package sim
+
+import "math/rand/v2"
+
+// New is allowed: internal/sim is where streams are constructed.
+func New(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+}

@@ -1,0 +1,27 @@
+// Package workload is a globalrand fixture: randomness must be
+// threaded in from the kernel, not drawn from the rand packages.
+package workload
+
+import "math/rand/v2"
+
+// Bad draws from the process-global generator; a finding.
+func Bad() int {
+	return rand.IntN(10)
+}
+
+// AlsoBad constructs a stream outside internal/sim; two findings on one
+// line (rand.New and rand.NewPCG).
+func AlsoBad() *rand.Rand {
+	return rand.New(rand.NewPCG(1, 2))
+}
+
+// Allowed opts out with a directive.
+func Allowed() uint64 {
+	//soravet:allow globalrand fixture demonstrates a deliberate opt-out
+	return rand.Uint64()
+}
+
+// Clean threads a caller-provided stream, which stays legal.
+func Clean(rng *rand.Rand) int {
+	return rng.IntN(10)
+}

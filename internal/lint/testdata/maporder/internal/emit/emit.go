@@ -1,0 +1,108 @@
+// Package emit is a maporder fixture: emitting in map-iteration order
+// is the bug; collect-and-sort shapes are the sanctioned alternatives.
+package emit
+
+import (
+	"sort"
+	"strings"
+)
+
+// Bad appends values in map-iteration order and never sorts; a finding.
+func Bad(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}
+
+// BadBuilder writes to a builder in map-iteration order; a finding no
+// sort can repair.
+func BadBuilder(m map[string]int, b *strings.Builder) {
+	for k := range m {
+		b.WriteString(k)
+	}
+}
+
+// BadLateSort appends pairs but lets another statement slip in before
+// the sort; a finding (the sort must immediately follow the loop).
+func BadLateSort(m map[string]int) []string {
+	var out []string
+	n := 0
+	for k := range m {
+		out = append(out, k+"!")
+	}
+	n++
+	sort.Strings(out)
+	_ = n
+	return out
+}
+
+// GoodKeys is the collect-keys idiom: the only statement appends the
+// range key, and the keys are sorted before use.
+func GoodKeys(m map[string]int) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+// GoodCollectThenSort appends full pairs and sorts the destination in
+// the statement immediately following the loop; allowed.
+func GoodCollectThenSort(m map[string]int) []string {
+	var out []string
+	for k, v := range m {
+		out = append(out, k+":"+itoa(v))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// GoodCommutative sums into an accumulator map; order-insensitive uses
+// are never flagged.
+func GoodCommutative(m map[string]int) map[string]int {
+	acc := map[string]int{}
+	for k, v := range m {
+		acc[k[:1]] += v
+	}
+	return acc
+}
+
+// Allowed opts out with a directive even though the sink is ordered.
+func Allowed(m map[string]int) []string {
+	var out []string
+	//soravet:allow maporder fixture demonstrates a deliberate opt-out
+	for k := range m {
+		out = append(out, k, "x")
+	}
+	return out
+}
+
+// itoa keeps the fixture free of imports beyond sort/strings.
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

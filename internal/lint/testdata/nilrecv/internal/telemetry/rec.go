@@ -1,0 +1,54 @@
+// Package telemetry is a nilrecv fixture: Recorder-family types whose
+// exported pointer-receiver methods must tolerate nil receivers.
+package telemetry
+
+// Recorder is the fixture recorder.
+type Recorder struct {
+	events []string
+}
+
+// Publish guards the receiver first; clean.
+func (r *Recorder) Publish(kind string) {
+	if r == nil {
+		return
+	}
+	r.events = append(r.events, kind)
+}
+
+// Flipped guards with the operands reversed; also clean.
+func (r *Recorder) Flipped() int {
+	if nil == r {
+		return 0
+	}
+	return len(r.events)
+}
+
+// Bad forgets the guard; a finding.
+func (r *Recorder) Bad(kind string) {
+	r.events = append(r.events, kind)
+}
+
+// WrongGuard checks something other than the receiver first; a finding.
+func (r *Recorder) WrongGuard(kind string) {
+	if kind == "" {
+		return
+	}
+	r.events = append(r.events, kind)
+}
+
+// Allowed opts out of the contract deliberately.
+//
+//soravet:allow nilrecv fixture demonstrates a deliberate opt-out
+func (r *Recorder) Allowed(kind string) {
+	r.events = append(r.events, kind)
+}
+
+// Len is a value-receiver method; the contract does not apply.
+func (r Recorder) Len() int {
+	return len(r.events)
+}
+
+// reset is unexported: internal callers run behind an exported guard.
+func (r *Recorder) reset() {
+	r.events = nil
+}

@@ -1,0 +1,29 @@
+// Package sim is a wallclock fixture: a deterministic package that
+// must not read the wall clock.
+package sim
+
+import "time"
+
+// Bad reads the wall clock three ways; each is a finding.
+func Bad() time.Duration {
+	start := time.Now()
+	time.Sleep(time.Millisecond)
+	return time.Since(start)
+}
+
+// BadTimer arms a real timer; also a finding.
+func BadTimer() *time.Timer {
+	return time.NewTimer(time.Second)
+}
+
+// Allowed measures real wall time deliberately; the directive
+// suppresses the finding.
+func Allowed() time.Time {
+	//soravet:allow wallclock fixture demonstrates a deliberate wall-time read
+	return time.Now()
+}
+
+// Clean uses only time arithmetic and constants, which stay legal.
+func Clean(d time.Duration) time.Duration {
+	return d + 250*time.Millisecond
+}

@@ -1,0 +1,64 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// wallclockFuncs are the package time functions that read or depend on
+// the wall clock. Types and constants (time.Duration, time.Millisecond)
+// remain free to use everywhere: only clock reads and real timers break
+// determinism.
+var wallclockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// checkWallclock flags calls into the wall clock anywhere in the
+// module. Simulated time comes exclusively from the kernel
+// (sim.Kernel.Now); the handful of deliberate wall-time measurement
+// spots (experiment progress reporting, CLI timing output) opt out with
+// //soravet:allow wallclock <reason>.
+func checkWallclock(m *Module, p *Package, report reporter) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkgPath, name, ok := pkgFuncCallee(p.Info, call)
+			if ok && pkgPath == "time" && wallclockFuncs[name] {
+				report(call.Pos(), fmt.Sprintf(
+					"call to time.%s reads the wall clock; use kernel virtual time (sim.Kernel.Now) — or annotate //soravet:allow wallclock <reason> for a deliberate wall-time measurement", name))
+			}
+			return true
+		})
+	}
+}
+
+// pkgFuncCallee resolves a call whose callee is a selector on an
+// imported package (time.Now, rand.IntN) to the package's import path
+// and the function name. Method calls and local calls return ok=false.
+func pkgFuncCallee(info *types.Info, call *ast.CallExpr) (pkgPath, name string, ok bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", "", false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}

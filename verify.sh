@@ -1,16 +1,20 @@
 #!/bin/sh
 # verify.sh — tier-1 verification for this repository (see ROADMAP.md).
 #
-# Runs vet, build, the full test suite, and the race detector over the
-# packages that contain concurrent code (the parallel experiment runner,
-# the sim kernel it fans out, the telemetry tree and the shared profile
-# aggregator). The race step uses -short: every test that exercises the
-# concurrent paths (parMap, RunMany, the serial-vs-parallel sweep and
-# profile equivalence, the concurrent-Add aggregator order test, the
-# cancel-churn kernel test) runs under -short; the excluded tests are
-# the minutes-long full-driver smoke runs, which the non-race
-# `go test ./...` step already covers. `go vet ./...` covers every cmd/
-# (including cmd/tracedig) and internal/ package.
+# Runs vet, the soravet determinism/telemetry linter, build, the full
+# test suite, and the race detector over the packages that contain
+# concurrent code (the parallel experiment runner, the sim kernel it
+# fans out, the cluster and trace warehouse it mutates, the telemetry
+# tree and the shared profile aggregator). The race step uses -short:
+# every test that exercises the concurrent paths (parMap, RunMany, the
+# serial-vs-parallel sweep and profile equivalence, the concurrent-Add
+# aggregator order test, the cancel-churn kernel test) runs under
+# -short; the excluded tests are the minutes-long full-driver smoke
+# runs, which the non-race `go test ./...` step already covers.
+# `go vet ./...` covers every cmd/ (including cmd/tracedig) and
+# internal/ package; `soravet` (see internal/lint and DESIGN.md §Static
+# analysis) machine-checks the repo-specific invariants vet cannot:
+# wallclock, globalrand, maporder, nilrecv, eventname.
 set -eu
 cd "$(dirname "$0")"
 
@@ -25,6 +29,9 @@ fi
 echo "== go vet ./..."
 go vet ./...
 
+echo "== soravet ./..."
+go run ./cmd/soravet ./...
+
 echo "== go build ./..."
 go build ./...
 
@@ -32,6 +39,6 @@ echo "== go test ./..."
 go test ./...
 
 echo "== go test -race (concurrent packages)"
-go test -race -short ./internal/experiment ./internal/sim ./internal/telemetry ./internal/profile
+go test -race -short ./internal/experiment ./internal/sim ./internal/telemetry ./internal/profile ./internal/cluster ./internal/trace
 
 echo "verify: OK"
