@@ -7,6 +7,7 @@
 //	simrun -app sockshop -mix cart -users 950 -cart-threads 10
 //	simrun -app sockshop -mix browse -catalogue-conns 20 -trace large_variation -peak 2400
 //	simrun -app socialnetwork -mix timeline -ps-conns 15 -users 2000 -heavy
+//	simrun -app sockshop -mix cart -fault-plan combo   # deterministic chaos run
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"time"
 
 	"sora/internal/cluster"
+	"sora/internal/fault"
 	"sora/internal/metrics"
 	"sora/internal/profile"
 	"sora/internal/sim"
@@ -48,6 +50,8 @@ func run() error {
 		psConns     = flag.Int("ps-conns", 10, "social network: connections to post-storage")
 		psCores     = flag.Float64("ps-cores", 2, "social network: post-storage CPU limit")
 		heavy       = flag.Bool("heavy", false, "social network: heavy (10-post) reads")
+
+		faultPlan = flag.String("fault-plan", "", "inject the named deterministic fault plan (see internal/fault.Names); installs the app's default resilience policies")
 
 		thresholds = flag.String("thresholds", "50ms,100ms,250ms,400ms", "comma-separated goodput thresholds")
 		telDir     = flag.String("telemetry-dir", "", "directory for telemetry artifacts (optional)")
@@ -106,7 +110,51 @@ func run() error {
 		return err
 	}
 	var e2e metrics.CompletionLog
-	c.OnComplete(func(tr *trace.Trace) { e2e.Add(k.Now(), tr.ResponseTime()) })
+	c.OnComplete(func(tr *trace.Trace) { e2e.AddFlagged(k.Now(), tr.ResponseTime(), tr.Root.Degraded) })
+
+	var eng *fault.Engine
+	if *faultPlan != "" {
+		var policies []topology.EdgePolicy
+		var targets fault.Targets
+		switch *appName {
+		case "sockshop":
+			policies = topology.SockShopResilience()
+			targets = fault.Targets{
+				CrashService: topology.Cart,
+				SlowService:  topology.CartDB,
+				EdgeCaller:   topology.FrontEnd,
+				EdgeCallee:   topology.Cart,
+				ClampRef:     cluster.ResourceRef{Service: topology.Cart, Kind: cluster.PoolThreads},
+				ClampSize:    4,
+			}
+		case "socialnetwork":
+			policies = topology.SocialNetworkResilience()
+			targets = fault.Targets{
+				CrashService: topology.SocialGraph,
+				SlowService:  topology.PostStorage,
+				EdgeCaller:   topology.HomeTimeline,
+				EdgeCallee:   topology.PostStorage,
+				ClampRef: cluster.ResourceRef{
+					Service: topology.HomeTimeline,
+					Kind:    cluster.PoolClientConns,
+					Target:  topology.PostStorage,
+				},
+				ClampSize: 4,
+			}
+		}
+		if err := topology.ApplyResilience(c, policies); err != nil {
+			return err
+		}
+		plan, err := fault.NamedPlan(*faultPlan, targets, *duration)
+		if err != nil {
+			return err
+		}
+		eng, err = fault.New(c, plan)
+		if err != nil {
+			return err
+		}
+		eng.Start()
+	}
 	var agg *profile.Aggregator
 	if *profFlag {
 		agg = profile.NewAggregator(*slo)
@@ -174,6 +222,20 @@ func run() error {
 		app.Name, *mixName, *duration, *seed, wall, k.Processed())
 	fmt.Printf("completed=%d dropped=%d throughput=%.0f req/s\n",
 		c.Completed(), c.Dropped(), e2e.ThroughputRate(warm, end))
+	if eng != nil {
+		fmt.Printf("failed=%d degraded=%d refused=%d lost=%d timedout=%d retries=%d breaker_rejected=%d\n",
+			c.Failed(), c.Degraded(), c.Refused(), c.LostCalls(), c.TimedOut(),
+			c.Retries(), c.BreakerRejections())
+		fmt.Println("fault windows:")
+		for _, win := range eng.Windows() {
+			to := "∞"
+			if win.End > 0 {
+				to = fmt.Sprintf("%.0fs", win.End.Seconds())
+			}
+			fmt.Printf("  %-10s %-28s %.0fs - %s\n",
+				win.Fault.Kind, win.Target, win.Start.Seconds(), to)
+		}
+	}
 	for _, p := range []float64{50, 90, 95, 99} {
 		if v, err := e2e.Percentile(p, warm, end); err == nil {
 			fmt.Printf("p%-3.0f = %v\n", p, v.Round(time.Millisecond))

@@ -33,6 +33,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -62,16 +63,17 @@ func run() error {
 		serial   = flag.Bool("serial", false, "force serial execution (same as -parallel 1)")
 		telDir   = flag.String("telemetry-dir", "", "directory for per-experiment telemetry artifacts (optional)")
 		slo      = flag.Duration("slo", 0, "SLO for the profile artifacts' violation breakdown (0 = disabled)")
+		chaos    = flag.String("chaos", "", "run the chaos comparison under the named fault plan (see internal/fault.Names)")
 	)
 	flag.Parse()
 
-	if *list || *exp == "" {
+	if *list || (*exp == "" && *chaos == "") {
 		fmt.Println("available experiments:")
 		for _, e := range experiment.All() {
 			fmt.Printf("  %-10s %s\n", e.ID, e.Title)
 		}
-		if *exp == "" && !*list {
-			return fmt.Errorf("pass -exp <id>[,<id>...] or -exp all")
+		if *exp == "" && *chaos == "" && !*list {
+			return fmt.Errorf("pass -exp <id>[,<id>...], -exp all, or -chaos <plan>")
 		}
 		return nil
 	}
@@ -91,7 +93,7 @@ func run() error {
 	var selected []experiment.Experiment
 	if *exp == "all" {
 		selected = experiment.All()
-	} else {
+	} else if *exp != "" {
 		for _, id := range strings.Split(*exp, ",") {
 			id = strings.TrimSpace(id)
 			if id == "" {
@@ -103,6 +105,18 @@ func run() error {
 			}
 			selected = append(selected, e)
 		}
+	}
+	if *chaos != "" {
+		// A synthetic experiment so -chaos composes with -telemetry-dir,
+		// -parallel and the rest of the runner machinery.
+		plan := *chaos
+		selected = append(selected, experiment.Experiment{
+			ID:    "chaos_" + plan,
+			Title: fmt.Sprintf("Chaos: fault plan %q — static vs autoscaler vs Sora", plan),
+			Run: func(p experiment.Params, w io.Writer) error {
+				return experiment.RunChaos(p, w, plan)
+			},
+		})
 	}
 	if len(selected) == 0 {
 		return fmt.Errorf("no experiments selected")

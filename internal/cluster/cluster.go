@@ -249,12 +249,28 @@ type Cluster struct {
 	nextTraceID trace.ID
 	onComplete  []func(*trace.Trace)
 
+	// Resilience / fault-injection state. resRNG is the deterministic
+	// stream behind backoff jitter and wire-loss decisions; edges holds
+	// per-edge policies, faults and breakers, with edgeOrder preserving
+	// creation order for deterministic reporting.
+	edges     map[edgeKey]*edgeState
+	edgeOrder []edgeKey
+	resRNG    *rand.Rand
+
 	dropped   uint64
 	completed uint64
+	failed    uint64 // roots that completed but lost an essential call
+	degraded  uint64 // roots that completed with a degraded response
+	refused   uint64 // visits refused by down pods
+	lostCalls uint64 // attempts lost on a faulted edge
+	timedOut  uint64 // attempts that hit their deadline
+	retries   uint64 // re-dispatched attempts after failure
+	rejected  uint64 // attempts rejected by an open circuit breaker
 	inFlight  int
 
-	tel      *telemetry.Recorder
-	dropWins map[string]*dropWindow
+	tel       *telemetry.Recorder
+	dropWins  map[string]*dropWindow
+	retryWins map[edgeKey]*retryWindow
 }
 
 // New deploys app onto a fresh simulated cluster driven by kernel k.
@@ -279,8 +295,11 @@ func New(k *sim.Kernel, app App, opts Options) (*Cluster, error) {
 		netDelay:  opts.NetworkDelay,
 		retention: retention,
 		rng:       k.Split(0xc1),
+		edges:     make(map[edgeKey]*edgeState),
+		resRNG:    k.Split(0x4e5),
 		tel:       opts.Telemetry,
 		dropWins:  make(map[string]*dropWindow),
+		retryWins: make(map[edgeKey]*retryWindow),
 	}
 	for _, spec := range app.Services {
 		svc := newService(c, spec)
@@ -420,26 +439,36 @@ func (c *Cluster) SubmitWith(rt *RequestType, onDone func()) {
 	c.nextTraceID++
 	id := c.nextTraceID
 	c.inFlight++
-	c.startVisit(rt.Root, nil, 0, func(root *visit) {
+	c.startVisit(rt.Root, nil, 0, 0, func(root *visit) {
 		c.inFlight--
 		if onDone != nil {
 			defer onDone()
 		}
-		if root.dropped || root.failed {
+		if root.dropped {
 			// Rejected at a full admission queue somewhere along the
-			// tree: counted in Dropped(), never in the completion logs
-			// or warehouse.
+			// tree with no policy absorbing it: counted in Dropped(),
+			// never in the completion logs or warehouse.
+			return
+		}
+		if root.failed {
+			// An essential call was lost past its retry budget (or the
+			// root's own pod crashed): the user saw an error page.
+			// Counted in Failed(), excluded from the latency logs.
+			c.failed++
 			return
 		}
 		c.completed++
+		if root.degraded {
+			c.degraded++
+		}
 		if c.completed%pruneInterval == 0 {
 			c.housekeep()
 		}
 		tr := &trace.Trace{ID: id, Type: rt.Name, Root: root.span}
 		c.warehouse.Add(tr)
 		rtime := tr.ResponseTime()
-		c.e2eLog.Add(c.k.Now(), rtime)
-		c.TypeCompletions(rt.Name).Add(c.k.Now(), rtime)
+		c.e2eLog.AddFlagged(c.k.Now(), rtime, root.degraded)
+		c.TypeCompletions(rt.Name).AddFlagged(c.k.Now(), rtime, root.degraded)
 		for _, fn := range c.onComplete {
 			fn(tr)
 		}
@@ -450,8 +479,33 @@ func (c *Cluster) SubmitWith(rt *RequestType, onDone func()) {
 // queues.
 func (c *Cluster) Dropped() uint64 { return c.dropped }
 
-// Completed returns the number of end-to-end completed requests.
+// Completed returns the number of end-to-end completed requests
+// (degraded responses included).
 func (c *Cluster) Completed() uint64 { return c.completed }
+
+// Failed returns the number of requests that completed as user-visible
+// errors: an essential downstream call was lost past its retry budget.
+func (c *Cluster) Failed() uint64 { return c.failed }
+
+// Degraded returns the number of completed requests whose response was
+// degraded (an optional call was dropped by its resilience policy).
+func (c *Cluster) Degraded() uint64 { return c.degraded }
+
+// Refused returns the number of service visits refused by crashed pods.
+func (c *Cluster) Refused() uint64 { return c.refused }
+
+// LostCalls returns the number of attempts lost on faulted edges.
+func (c *Cluster) LostCalls() uint64 { return c.lostCalls }
+
+// TimedOut returns the number of attempts that hit their deadline.
+func (c *Cluster) TimedOut() uint64 { return c.timedOut }
+
+// Retries returns the number of re-dispatched attempts after failures.
+func (c *Cluster) Retries() uint64 { return c.retries }
+
+// BreakerRejections returns the number of attempts rejected by open
+// circuit breakers.
+func (c *Cluster) BreakerRejections() uint64 { return c.rejected }
 
 // InFlight returns the number of requests currently inside the system.
 func (c *Cluster) InFlight() int { return c.inFlight }
@@ -472,6 +526,20 @@ func (c *Cluster) withNetDelay(fn func()) {
 		return
 	}
 	d := c.netDelay.Sample(c.rng)
+	if d <= 0 {
+		fn()
+		return
+	}
+	c.k.Schedule(d, fn)
+}
+
+// withEdgeDelay runs fn after one network hop over a policy-bearing
+// edge: the base network latency plus the edge's injected ExtraDelay.
+func (c *Cluster) withEdgeDelay(es *edgeState, fn func()) {
+	d := es.fault.ExtraDelay
+	if c.netDelay != nil {
+		d += c.netDelay.Sample(c.rng)
+	}
 	if d <= 0 {
 		fn()
 		return

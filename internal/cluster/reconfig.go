@@ -33,7 +33,9 @@ func (c *Cluster) SetCores(service string, cores float64) error {
 	}
 	svc.spec.Cores = cores
 	for _, in := range svc.instances {
-		in.cpu.SetCores(cores)
+		// Route through the per-pod fault-injection degradation factor
+		// so a vertical scale never silently clears a slow-node fault.
+		in.applyCores()
 	}
 	return nil
 }

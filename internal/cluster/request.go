@@ -7,6 +7,17 @@ import (
 	"sora/internal/trace"
 )
 
+// Wait modes: which span counter the visit's currently open off-CPU
+// wait window belongs to. Exactly one window is open at a time, so
+// Blocked, RetryWait and BreakerWait stay disjoint by construction and
+// the profiler's seven-phase decomposition remains exact.
+const (
+	waitNone int8 = iota
+	waitBlocked
+	waitRetry
+	waitBreaker
+)
+
 // visit is the execution state of one service visit (one span).
 type visit struct {
 	c    *Cluster
@@ -19,17 +30,56 @@ type visit struct {
 	// Child-call progress.
 	childrenLeft int
 	seqNext      int
-	outstanding  int      // dispatched, not yet answered child calls
-	blockedSince sim.Time // valid while outstanding > 0
+	outstanding  int  // dispatched, not yet settled child attempts
+	backoffs     int  // pending retry-backoff waits
+	brWaits      int  // pending breaker-rejection backoff waits
+	waitMode     int8 // which counter the open wait window feeds
+	waitSince    sim.Time
 	cpuSince     sim.Time // valid while a CPU work phase is in flight
+	deadline     sim.Time // propagated deadline; 0 = none
+	epoch        uint64   // pod epoch at admission; mismatch = crashed under us
 	dropped      bool     // rejected at this service's admission queue
-	failed       bool     // a descendant call was dropped
+	failed       bool     // an essential descendant call was lost
+	degraded     bool     // an optional descendant call was degraded away
+}
+
+// reWait maintains the visit's single off-CPU wait window. Blocked
+// (RPCs in flight) dominates breaker backoff, which dominates retry
+// backoff; on every mode change the closing window is charged to the
+// span counter it belonged to. With no resilience policies configured
+// this reduces to the original 0↔1 outstanding bookkeeping.
+func (v *visit) reWait() {
+	mode := waitNone
+	switch {
+	case v.outstanding > 0:
+		mode = waitBlocked
+	case v.brWaits > 0:
+		mode = waitBreaker
+	case v.backoffs > 0:
+		mode = waitRetry
+	}
+	if mode == v.waitMode {
+		return
+	}
+	now := v.c.k.Now()
+	switch v.waitMode {
+	case waitBlocked:
+		v.span.Blocked += time.Duration(now - v.waitSince)
+	case waitRetry:
+		v.span.RetryWait += time.Duration(now - v.waitSince)
+	case waitBreaker:
+		v.span.BreakerWait += time.Duration(now - v.waitSince)
+	}
+	v.waitMode = mode
+	v.waitSince = now
 }
 
 // startVisit routes a call-tree node to a pod of its service and begins
 // the visit lifecycle. The parent (if any) has already recorded the
-// dispatch; onDone fires when the response leaves this service.
-func (c *Cluster) startVisit(node *CallNode, parent *visit, depth int, onDone func(*visit)) *visit {
+// dispatch; onDone fires when the response leaves this service. The
+// deadline is the caller's propagated deadline (0 = none); visits that
+// find every pod of the service down are refused immediately.
+func (c *Cluster) startVisit(node *CallNode, parent *visit, depth int, deadline sim.Time, onDone func(*visit)) *visit {
 	svc := c.services[node.Service]
 	inst := svc.pick()
 	v := &visit{
@@ -37,16 +87,21 @@ func (c *Cluster) startVisit(node *CallNode, parent *visit, depth int, onDone fu
 		inst: inst,
 		node: node,
 		span: &trace.Span{
-			Service:  node.Service,
-			Instance: inst.id,
-			Depth:    depth,
-			Arrival:  c.k.Now(),
+			Service: node.Service,
+			Depth:   depth,
+			Arrival: c.k.Now(),
 		},
-		onDone: onDone,
+		deadline: deadline,
+		onDone:   onDone,
 	}
 	if parent != nil {
 		parent.span.Children = append(parent.span.Children, v.span)
 	}
+	if inst == nil {
+		v.refuse()
+		return v
+	}
+	v.span.Instance = inst.id
 	inst.enqueue(v)
 	return v
 }
@@ -82,29 +137,43 @@ func (v *visit) childrenPhase() {
 		// Dispatch all children now. Each dispatch may still wait on a
 		// connection slot independently.
 		for _, child := range v.node.Children {
-			v.dispatchChild(child)
+			v.startCall(child)
 		}
 		return
 	}
 	v.seqNext = 0
-	v.dispatchChild(v.node.Children[v.seqNext])
+	v.startCall(v.node.Children[v.seqNext])
 	v.seqNext++
 }
 
-// dispatchChild acquires this pod's downstream-connection slot and, if
-// configured, the per-target client-connection slot, then sends the call.
-// Slot waits happen off-CPU but count toward this service's processing
-// time (the visit is not "blocked on downstream" until the RPC is
-// actually in flight).
-func (v *visit) dispatchChild(child *CallNode) {
+// startCall routes one downstream call: edges with a resilience policy
+// or an injected fault go through the callState attempt machinery;
+// everything else takes the original direct path, which allocates
+// nothing beyond the child visit itself.
+func (v *visit) startCall(child *CallNode) {
+	es := v.c.edge(v.node.Service, child.Service)
+	if es == nil || !es.active() {
+		v.dispatchDirect(child)
+		return
+	}
+	cs := &callState{v: v, child: child, es: es}
+	cs.dispatch()
+}
+
+// dispatchDirect acquires this pod's downstream-connection slot and, if
+// configured, the per-target client-connection slot, then sends the
+// call. Slot waits happen off-CPU but count toward this service's
+// processing time (the visit is not "blocked on downstream" until the
+// RPC is actually in flight).
+func (v *visit) dispatchDirect(child *CallNode) {
 	v.inst.db.acquire(func() {
 		cp, hasCP := v.inst.client[child.Service]
 		if !hasCP {
-			v.sendChild(child, func() { v.inst.db.release() })
+			v.sendDirect(child, func() { v.inst.db.release() })
 			return
 		}
 		cp.acquire(func() {
-			v.sendChild(child, func() {
+			v.sendDirect(child, func() {
 				cp.release()
 				v.inst.db.release()
 			})
@@ -112,19 +181,21 @@ func (v *visit) dispatchChild(child *CallNode) {
 	})
 }
 
-// sendChild performs the network round trip and child visit; release runs
-// when the response arrives back, before continuing the parent.
-func (v *visit) sendChild(child *CallNode, release func()) {
+// sendDirect performs the network round trip and child visit; release
+// runs when the response arrives back, before continuing the parent.
+func (v *visit) sendDirect(child *CallNode, release func()) {
 	v.outstanding++
-	if v.outstanding == 1 {
-		v.blockedSince = v.c.k.Now()
-	}
+	v.reWait()
 	v.c.withNetDelay(func() {
-		v.c.startVisit(child, v, v.span.Depth+1, func(cv *visit) {
+		v.c.startVisit(child, v, v.span.Depth+1, v.deadline, func(cv *visit) {
 			v.c.withNetDelay(func() {
 				release()
+				v.outstanding--
+				v.reWait()
 				if cv.dropped || cv.failed {
 					v.failed = true
+				} else if cv.degraded {
+					v.degraded = true
 				}
 				v.childAnswered()
 			})
@@ -132,20 +203,229 @@ func (v *visit) sendChild(child *CallNode, release func()) {
 	})
 }
 
-// childAnswered accounts blocked time and advances sequential dispatch or
-// the join.
-func (v *visit) childAnswered() {
-	v.outstanding--
-	if v.outstanding == 0 {
-		v.span.Blocked += time.Duration(v.c.k.Now() - v.blockedSince)
+// callState drives one downstream call over a policy- or fault-bearing
+// edge through its attempt budget.
+type callState struct {
+	v        *visit
+	child    *CallNode
+	es       *edgeState
+	attempts int // attempts consumed (dispatched or breaker-rejected)
+	done     bool
+}
+
+// dispatch consumes one attempt: deadline check, breaker admission,
+// connection-slot acquisition, then the wire.
+func (cs *callState) dispatch() {
+	v := cs.v
+	if v.deadline > 0 && v.c.k.Now() >= v.deadline {
+		cs.exhausted()
+		return
 	}
+	cs.attempts++
+	allowed, isProbe := cs.es.breakerAllow(v.c)
+	if !allowed {
+		v.c.rejected++
+		cs.afterFailure(true)
+		return
+	}
+	v.inst.db.acquire(func() {
+		cp, hasCP := v.inst.client[cs.child.Service]
+		if !hasCP {
+			cs.send(isProbe, func() { v.inst.db.release() })
+			return
+		}
+		cp.acquire(func() {
+			cs.send(isProbe, func() {
+				cp.release()
+				v.inst.db.release()
+			})
+		})
+	})
+}
+
+// attempt is one try of a callState: it owns the connection slots, the
+// timeout timer, and the settled flag that makes answer/timeout/loss
+// mutually exclusive.
+type attempt struct {
+	cs      *callState
+	release func()
+	timer   *sim.Timer
+	child   *trace.Span // child visit's span, for Abandoned marking
+	isProbe bool
+	settled bool
+}
+
+// send puts one attempt on the wire: computes the attempt deadline
+// (min of policy timeout and propagated deadline), applies the edge's
+// injected loss, and dispatches the child visit.
+func (cs *callState) send(isProbe bool, release func()) {
+	v := cs.v
+	now := v.c.k.Now()
+	at := &attempt{cs: cs, release: release, isProbe: isProbe}
+	v.outstanding++
+	v.reWait()
+	var dl sim.Time
+	if t := cs.es.policy.Timeout; t > 0 {
+		dl = now + sim.Time(t)
+	}
+	if v.deadline > 0 && (dl == 0 || v.deadline < dl) {
+		dl = v.deadline
+	}
+	if dl > 0 {
+		at.timer = v.c.k.At(dl, at.timeout)
+	}
+	if f := cs.es.fault; f.LossProb > 0 && v.c.resRNG.Float64() < f.LossProb {
+		// Lost on the wire: the callee never sees the call. The caller
+		// learns nothing until its attempt deadline fires; with no
+		// timeout configured, model a connection reset after one hop.
+		v.c.lostCalls++
+		if at.timer == nil {
+			v.c.withEdgeDelay(cs.es, at.lost)
+		}
+		return
+	}
+	v.c.withEdgeDelay(cs.es, func() {
+		if at.settled {
+			// The caller already timed this attempt out while the
+			// request was on the wire; the callee still executes it as
+			// an orphan.
+			orphan := v.c.startVisit(cs.child, v, v.span.Depth+1, dl, nil)
+			orphan.span.Abandoned = true
+			return
+		}
+		cv := v.c.startVisit(cs.child, v, v.span.Depth+1, dl, func(cv *visit) {
+			v.c.withEdgeDelay(cs.es, func() { at.answered(cv) })
+		})
+		at.child = cv.span
+	})
+}
+
+// settle closes the attempt exactly once: cancels the timer, frees the
+// connection slots, and closes the visit's blocked window.
+func (at *attempt) settle() bool {
+	if at.settled {
+		return false
+	}
+	at.settled = true
+	if at.timer != nil {
+		at.timer.Cancel()
+		at.timer = nil
+	}
+	at.release()
+	at.cs.v.outstanding--
+	at.cs.v.reWait()
+	return true
+}
+
+// answered handles the child's response reaching the caller.
+func (at *attempt) answered(cv *visit) {
+	if !at.settle() {
+		return // timed out earlier; the late response is discarded
+	}
+	cs := at.cs
+	failed := cv.dropped || cv.failed
+	cs.es.breakerRecord(cs.v.c, at.isProbe, !failed)
+	if failed {
+		cs.afterFailure(false)
+		return
+	}
+	if cv.degraded {
+		cs.v.degraded = true
+	}
+	cs.succeed()
+}
+
+// timeout fires at the attempt deadline: the in-flight child (if it
+// started) becomes an orphan, and the attempt counts as failed.
+func (at *attempt) timeout() {
+	at.timer = nil
+	if !at.settle() {
+		return
+	}
+	if at.child != nil {
+		at.child.Abandoned = true
+	}
+	cs := at.cs
+	cs.v.c.timedOut++
+	cs.es.breakerRecord(cs.v.c, at.isProbe, false)
+	cs.afterFailure(false)
+}
+
+// lost handles a wire-lost attempt on an edge with no timeout: a
+// one-hop connection reset.
+func (at *attempt) lost() {
+	if !at.settle() {
+		return
+	}
+	cs := at.cs
+	cs.es.breakerRecord(cs.v.c, at.isProbe, false)
+	cs.afterFailure(false)
+}
+
+// afterFailure decides between another attempt (after backoff, charged
+// to RetryWait or, for breaker rejections, BreakerWait) and exhaustion.
+func (cs *callState) afterFailure(brRejected bool) {
+	v := cs.v
+	if cs.attempts < cs.es.maxAttempts() {
+		backoff := cs.es.backoffFor(v.c, cs.attempts)
+		if v.deadline == 0 || v.c.k.Now()+sim.Time(backoff) < v.deadline {
+			if brRejected {
+				v.brWaits++
+			} else {
+				v.backoffs++
+				v.c.noteRetry(cs.es.key)
+			}
+			v.reWait()
+			v.c.k.Schedule(backoff, func() {
+				if brRejected {
+					v.brWaits--
+				} else {
+					v.backoffs--
+				}
+				v.reWait()
+				cs.dispatch()
+			})
+			return
+		}
+	}
+	cs.exhausted()
+}
+
+// exhausted resolves the call after the attempt budget (or deadline) is
+// spent: optional calls degrade the caller's response, essential calls
+// fail its subtree.
+func (cs *callState) exhausted() {
+	if cs.done {
+		return
+	}
+	cs.done = true
+	if cs.es.policy.Optional {
+		cs.v.degraded = true
+	} else {
+		cs.v.failed = true
+	}
+	cs.v.childAnswered()
+}
+
+// succeed resolves the call successfully.
+func (cs *callState) succeed() {
+	if cs.done {
+		return
+	}
+	cs.done = true
+	cs.v.childAnswered()
+}
+
+// childAnswered advances sequential dispatch or the join after one
+// downstream call resolves (successfully, degraded, or failed).
+func (v *visit) childAnswered() {
 	v.childrenLeft--
 	if v.childrenLeft == 0 {
 		v.responsePhase()
 		return
 	}
 	if !v.node.Parallel && v.seqNext < len(v.node.Children) {
-		v.dispatchChild(v.node.Children[v.seqNext])
+		v.startCall(v.node.Children[v.seqNext])
 		v.seqNext++
 	}
 }
@@ -165,11 +445,21 @@ func (v *visit) resWorkDone() {
 }
 
 // finish stamps the span, frees the thread slot and notifies the parent.
+// A pod that crashed while the visit was in flight (epoch mismatch, or
+// still down) loses the response with the connection: the visit fails
+// even though its work ran.
 func (v *visit) finish() {
 	now := v.c.k.Now()
 	v.span.End = now
-	v.span.Failed = v.failed
-	v.inst.svc.spanLog.Add(now, v.span.Duration())
+	if v.inst.down || v.epoch != v.inst.epoch {
+		v.failed = true
+	}
+	if v.failed {
+		v.span.Failed = true
+	} else if v.degraded {
+		v.span.Degraded = true
+	}
+	v.inst.svc.spanLog.AddFlagged(now, v.span.Duration(), v.span.Degraded)
 	v.inst.visitDone()
 	if v.onDone != nil {
 		fn := v.onDone
@@ -188,6 +478,25 @@ func (v *visit) drop() {
 	v.span.Start = now
 	v.span.End = now
 	v.span.Dropped = true
+	if v.onDone != nil {
+		fn := v.onDone
+		v.onDone = nil
+		fn(v)
+	}
+}
+
+// refuse fails the visit at arrival: the pod it was routed to is down
+// (or the whole service is), so the connection is refused before any
+// work happens. Distinct from drop — the caller's retry policy treats
+// both as failures, but refusals are counted separately and marked
+// Failed, not Dropped.
+func (v *visit) refuse() {
+	v.failed = true
+	now := v.c.k.Now()
+	v.span.Start = now
+	v.span.End = now
+	v.span.Failed = true
+	v.c.refused++
 	if v.onDone != nil {
 		fn := v.onDone
 		v.onDone = nil

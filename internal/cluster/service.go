@@ -72,21 +72,27 @@ func (s *Service) addInstance() *Instance {
 }
 
 // pick selects the pod for a new request: round-robin over non-draining
-// pods, matching the default kube-proxy behaviour.
+// live pods, matching the default kube-proxy behaviour. Crashed pods
+// are skipped; with every pod down it returns nil and the call is
+// refused.
 func (s *Service) pick() *Instance {
 	n := len(s.instances)
 	for i := 0; i < n; i++ {
 		in := s.instances[s.rr%n]
 		s.rr++
-		if !in.draining {
+		if !in.draining && !in.down {
 			return in
 		}
 	}
-	// All pods draining (replica count being reduced below in-flight
-	// work): fall back to the least-loaded pod so requests still finish.
-	best := s.instances[0]
-	for _, in := range s.instances[1:] {
-		if in.active < best.active {
+	// All pods draining or down (replica count being reduced below
+	// in-flight work, or mid-crash): fall back to the least-loaded live
+	// pod so requests still finish.
+	var best *Instance
+	for _, in := range s.instances {
+		if in.down {
+			continue
+		}
+		if best == nil || in.active < best.active {
 			best = in
 		}
 	}
@@ -225,6 +231,14 @@ type Instance struct {
 	client map[string]*pool
 
 	draining bool
+
+	// Fault-injection state. down marks a crashed pod: it accepts no
+	// new work, and responses of visits admitted before the crash are
+	// lost (epoch mismatch at finish). degrade, when in (0,1), scales
+	// the pod's effective CPU limit (a noisy-neighbour / failing node).
+	down    bool
+	epoch   uint64
+	degrade float64
 }
 
 type instanceMeta struct {
@@ -278,8 +292,63 @@ func (in *Instance) hasThreadCapacity() bool {
 	return in.threadCap == 0 || in.active < in.threadCap
 }
 
+// Crash marks the pod failed, as by a kill -9 or node loss: everything
+// waiting for admission is refused (connection reset), new arrivals are
+// refused, and visits already in flight keep executing but their
+// responses are lost — finish sees the epoch mismatch and fails them.
+// The simulated work itself is not unwound; this models the callee-side
+// effort a crash wastes without revoking PS-server state.
+func (in *Instance) Crash() {
+	if in.down {
+		return
+	}
+	in.down = true
+	in.epoch++
+	q := in.queue
+	in.queue = nil
+	for _, v := range q {
+		v.refuse()
+	}
+}
+
+// Restore brings a crashed pod back into service with empty queues and
+// a fresh epoch (already bumped by Crash).
+func (in *Instance) Restore() { in.down = false }
+
+// Down reports whether the pod is crashed.
+func (in *Instance) Down() bool { return in.down }
+
+// SetDegrade sets the pod's CPU-degradation factor: effective cores =
+// spec cores × f for f in (0,1). Values outside (0,1) clear the
+// degradation.
+func (in *Instance) SetDegrade(f float64) {
+	if f <= 0 || f >= 1 {
+		in.degrade = 0
+	} else {
+		in.degrade = f
+	}
+	in.applyCores()
+}
+
+// Degrade returns the pod's CPU-degradation factor (0 = none).
+func (in *Instance) Degrade() float64 { return in.degrade }
+
+// applyCores pushes the service's configured per-pod core limit through
+// this pod's degradation factor into the PS server.
+func (in *Instance) applyCores() {
+	cores := in.svc.spec.Cores
+	if in.degrade > 0 {
+		cores *= in.degrade
+	}
+	in.cpu.SetCores(cores)
+}
+
 // enqueue either admits the visit or queues it for a thread slot.
 func (in *Instance) enqueue(v *visit) {
+	if in.down {
+		v.refuse()
+		return
+	}
 	if in.hasThreadCapacity() && len(in.queue) == 0 {
 		in.admit(v)
 		return
@@ -298,6 +367,7 @@ func (in *Instance) enqueue(v *visit) {
 func (in *Instance) admit(v *visit) {
 	in.active++
 	in.meta.admitted++
+	v.epoch = in.epoch
 	v.begin()
 }
 

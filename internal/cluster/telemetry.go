@@ -24,10 +24,13 @@ func (c *Cluster) Telemetry() *telemetry.Recorder { return c.tel }
 // overload (thousands of drops per second) does not flood the event
 // log: at most one cluster.drop event is published per service per
 // virtual second, carrying the accumulated count. FlushTelemetry emits
-// the residue.
+// a closing summary per service carrying the residual count and the
+// exact lifetime total, so a run that ends mid-window never swallows
+// its final drops.
 type dropWindow struct {
 	winStart sim.Time
 	count    int
+	total    int // lifetime drops of this service, for the closing summary
 }
 
 // dropWindowLen is the minimum virtual-time spacing between two
@@ -47,6 +50,7 @@ func (c *Cluster) noteDrop(service string) {
 		c.dropWins[service] = win
 	}
 	win.count++
+	win.total++
 	if now-win.winStart >= dropWindowLen {
 		c.tel.Publish(now, "cluster.drop",
 			telemetry.String("service", service),
@@ -54,6 +58,52 @@ func (c *Cluster) noteDrop(service string) {
 		win.winStart = now
 		win.count = 0
 	}
+}
+
+// retryWindow throttles resilience.retry events of one edge the same
+// way dropWindow throttles admission drops: retry storms publish at
+// most one event per edge per virtual second.
+type retryWindow struct {
+	winStart sim.Time
+	count    int
+}
+
+// noteRetry records one retry for the counters and, throttled, for the
+// event log.
+func (c *Cluster) noteRetry(key edgeKey) {
+	c.retries++
+	if c.tel == nil {
+		return
+	}
+	now := c.k.Now()
+	win, ok := c.retryWins[key]
+	if !ok {
+		win = &retryWindow{winStart: now}
+		c.retryWins[key] = win
+	}
+	win.count++
+	if now-win.winStart >= dropWindowLen {
+		c.tel.Publish(now, "resilience.retry",
+			telemetry.String("caller", key.caller),
+			telemetry.String("callee", key.callee),
+			telemetry.Int("count", win.count))
+		win.winStart = now
+		win.count = 0
+	}
+}
+
+// noteBreakerTransition publishes one circuit-breaker state change.
+// Transitions are rare (bounded by fault windows), so they are not
+// throttled.
+func (c *Cluster) noteBreakerTransition(key edgeKey, from, to breakerState) {
+	if c.tel == nil {
+		return
+	}
+	c.tel.Publish(c.k.Now(), "resilience.breaker",
+		telemetry.String("caller", key.caller),
+		telemetry.String("callee", key.callee),
+		telemetry.String("from", from.String()),
+		telemetry.String("to", to.String()))
 }
 
 // chromeTraceSampleCap bounds how many warehouse traces FlushTelemetry
@@ -73,15 +123,50 @@ func (c *Cluster) FlushTelemetry() {
 	}
 	now := c.k.Now()
 	for _, name := range c.order {
-		if win, ok := c.dropWins[name]; ok && win.count > 0 {
+		if win, ok := c.dropWins[name]; ok && win.total > 0 {
+			// Closing summary: the residual (possibly zero) count of the
+			// open throttle window plus the exact lifetime total, so
+			// consumers can reconcile drops even when the run ended
+			// mid-window.
 			tel.Publish(now, "cluster.drop",
 				telemetry.String("service", name),
+				telemetry.Int("count", win.count),
+				telemetry.Int("total", win.total))
+			win.count = 0
+		}
+	}
+	for _, key := range c.edgeOrder {
+		if win, ok := c.retryWins[key]; ok && win.count > 0 {
+			tel.Publish(now, "resilience.retry",
+				telemetry.String("caller", key.caller),
+				telemetry.String("callee", key.callee),
 				telemetry.Int("count", win.count))
 			win.count = 0
 		}
 	}
 	tel.AddCounter("sora_requests_completed_total", float64(c.completed))
 	tel.AddCounter("sora_requests_dropped_total", float64(c.dropped))
+	if c.failed > 0 {
+		tel.AddCounter("sora_requests_failed_total", float64(c.failed))
+	}
+	if c.degraded > 0 {
+		tel.AddCounter("sora_requests_degraded_total", float64(c.degraded))
+	}
+	if c.refused > 0 {
+		tel.AddCounter("sora_calls_refused_total", float64(c.refused))
+	}
+	if c.lostCalls > 0 {
+		tel.AddCounter("sora_calls_lost_total", float64(c.lostCalls))
+	}
+	if c.timedOut > 0 {
+		tel.AddCounter("sora_calls_timedout_total", float64(c.timedOut))
+	}
+	if c.retries > 0 {
+		tel.AddCounter("sora_retries_total", float64(c.retries))
+	}
+	if c.rejected > 0 {
+		tel.AddCounter("sora_breaker_rejected_total", float64(c.rejected))
+	}
 	ws := c.warehouse.Stats()
 	tel.AddCounter("sora_warehouse_added_total", float64(ws.Added))
 	tel.AddCounter("sora_warehouse_evicted_total", float64(ws.Evicted))

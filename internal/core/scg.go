@@ -467,6 +467,11 @@ func (m *SCGModel) behindUtil(now sim.Time, measured string) float64 {
 
 // goodFraction returns the share of the measured service's completions
 // meeting the threshold over the model window (1.0 when no completions).
+// The span log is degradation-aware: visits the resilience layer
+// completed with a degraded response are flagged at record time and
+// never count as good, so under fault injection the SCG optimizer sees
+// degraded service for what it is rather than mistaking fast fallback
+// responses for healthy goodput.
 func (m *SCGModel) goodFraction(now sim.Time, service string, threshold time.Duration) float64 {
 	svc, err := m.c.Service(service)
 	if err != nil {

@@ -1,0 +1,59 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"sora/internal/telemetry"
+)
+
+// TestChaosArtifactEquivalence is the retry-storm determinism guardrail:
+// a seeded chaos run — crash refusal storms, timeout retries, breaker
+// transitions and all — must produce byte-identical stdout and telemetry
+// artifacts (.events.jsonl, metrics, Chrome trace) whether the six
+// (app, strategy) units run on one worker or four.
+func TestChaosArtifactEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos equivalence runs twelve minimum-length simulations; skipped in -short")
+	}
+	run := func(parallelism int) string {
+		rec := telemetry.NewRecorder("chaos-test")
+		p := Params{Seed: 5, DurationScale: 0.001, Quiet: true, Parallelism: parallelism, Telemetry: rec}
+		var sb strings.Builder
+		if err := RunChaos(p, &sb, "combo"); err != nil {
+			t.Fatalf("parallelism=%d: %v", parallelism, err)
+		}
+		sb.WriteString("\n--- artifacts ---\n")
+		sb.WriteString(renderArtifacts(t, rec))
+		return sb.String()
+	}
+	serial := run(1)
+	parallel := run(4)
+	if serial != parallel {
+		a, b := diffLine(serial, parallel)
+		t.Fatalf("chaos output/artifacts differ between serial and parallel runs:\nserial:   %s\nparallel: %s", a, b)
+	}
+	// The artifacts must actually exercise the fault and resilience
+	// machinery, not just agree on silence.
+	for _, kind := range []string{"fault.inject", "fault.recover", "resilience.retry", "resilience.breaker"} {
+		if !strings.Contains(serial, kind) {
+			t.Errorf("chaos artifacts carry no %s event", kind)
+		}
+	}
+	for _, unit := range []string{"sockshop_static", "sockshop_Sora", "socialnet_autoscaler"} {
+		if !strings.Contains(serial, unit) {
+			t.Errorf("artifacts missing unit path %s", unit)
+		}
+	}
+}
+
+// diffLine returns the first differing line pair of two strings.
+func diffLine(a, b string) (string, string) {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if al[i] != bl[i] {
+			return al[i], bl[i]
+		}
+	}
+	return "<equal prefix>", "<length differs>"
+}

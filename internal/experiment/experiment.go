@@ -158,3 +158,36 @@ func writeCSV(p Params, name string, header []string, rows [][]float64) error {
 	}
 	return f.Sync()
 }
+
+// writeCSVStrings is writeCSV for rows with non-numeric cells (labels,
+// phases). Cells are written verbatim; callers keep them comma-free.
+func writeCSVStrings(p Params, name string, header []string, rows [][]string) error {
+	if p.OutDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(p.OutDir, 0o755); err != nil {
+		return fmt.Errorf("experiment: %w", err)
+	}
+	path := filepath.Join(p.OutDir, name+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("experiment: %w", err)
+	}
+	defer f.Close()
+	for _, row := range append([][]string{header}, rows...) {
+		for i, v := range row {
+			if i > 0 {
+				if _, err := io.WriteString(f, ","); err != nil {
+					return err
+				}
+			}
+			if _, err := io.WriteString(f, v); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(f, "\n"); err != nil {
+			return err
+		}
+	}
+	return f.Sync()
+}

@@ -111,7 +111,9 @@ func newRig(cfg rigConfig) (*rig, error) {
 	}
 	r := &rig{k: k, c: c, mon: mon, loop: loop, e2e: &metrics.CompletionLog{}}
 	c.OnComplete(func(tr *trace.Trace) {
-		r.e2e.Add(k.Now(), tr.ResponseTime())
+		// Degraded completions must not count as goodput in the final
+		// report, exactly as in the cluster's own pruned logs.
+		r.e2e.AddFlagged(k.Now(), tr.ResponseTime(), tr.Root.Degraded)
 	})
 	if cfg.prof != nil {
 		c.OnComplete(cfg.prof.Add)

@@ -1,0 +1,329 @@
+// Package fault is the deterministic chaos engine of the Sora
+// reproduction: declarative fault plans — pod crashes with downtime,
+// per-pod CPU degradation (slow nodes), per-edge RPC latency inflation
+// and loss, soft-resource pool clamps — scheduled as virtual-time
+// kernel timers against a running cluster. Everything is driven by the
+// sim kernel: injection times are plan constants, pod selection draws
+// from a per-injector Kernel.Split stream, and loss decisions use the
+// cluster's own resilience stream, so a chaos run is byte-identical
+// between serial and parallel experiment execution and across repeats
+// of the same seed.
+//
+// The engine exercises the resilience layer in internal/cluster
+// (retries, timeouts, circuit breakers, graceful degradation); the
+// chaos experiment in internal/experiment compares how Sora's
+// soft-resource adaptation and the baseline autoscalers ride out
+// identical fault schedules.
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"sora/internal/cluster"
+	"sora/internal/sim"
+	"sora/internal/telemetry"
+)
+
+// Kind identifies one fault mechanism.
+type Kind int
+
+// The fault kinds.
+const (
+	// KindCrash kills one pod of a service: queued and arriving work is
+	// refused, in-flight responses are lost. Recovery restores the pod.
+	KindCrash Kind = iota + 1
+	// KindSlowNode scales one pod's effective CPU by Factor — a noisy
+	// neighbour or failing node. Recovery clears the factor.
+	KindSlowNode
+	// KindLossyEdge inflates every hop over one caller→callee edge by
+	// ExtraDelay and drops calls with probability LossProb. Recovery
+	// clears the edge fault.
+	KindLossyEdge
+	// KindPoolClamp forces one soft resource to Size for the window,
+	// restoring the previous size on recovery unless a controller
+	// re-tuned the pool during the window.
+	KindPoolClamp
+)
+
+// String returns the kind's canonical name.
+func (k Kind) String() string {
+	switch k {
+	case KindCrash:
+		return "crash"
+	case KindSlowNode:
+		return "slow-node"
+	case KindLossyEdge:
+		return "lossy-edge"
+	case KindPoolClamp:
+		return "pool-clamp"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Fault is one scheduled fault in a plan.
+type Fault struct {
+	Kind Kind
+
+	// At is the injection time, relative to Engine.Start. Duration is
+	// the fault window length; zero means the fault is permanent.
+	At       time.Duration
+	Duration time.Duration
+
+	// Service targets KindCrash and KindSlowNode. Pod selects the pod:
+	// a non-negative index is taken modulo the live pod count at
+	// injection time; a negative index draws uniformly from the
+	// injector's deterministic stream.
+	Service string
+	Pod     int
+
+	// Factor is KindSlowNode's CPU multiplier, in (0,1).
+	Factor float64
+
+	// Caller/Callee target KindLossyEdge.
+	Caller, Callee string
+	// ExtraDelay and LossProb are KindLossyEdge's parameters.
+	ExtraDelay time.Duration
+	LossProb   float64
+
+	// Ref and Size target KindPoolClamp.
+	Ref  cluster.ResourceRef
+	Size int
+}
+
+// validate checks one fault against the cluster.
+func (f Fault) validate(c *cluster.Cluster) error {
+	if f.At < 0 || f.Duration < 0 {
+		return fmt.Errorf("fault: %s: negative time", f.Kind)
+	}
+	switch f.Kind {
+	case KindCrash:
+		_, err := c.Service(f.Service)
+		return err
+	case KindSlowNode:
+		if f.Factor <= 0 || f.Factor >= 1 {
+			return fmt.Errorf("fault: slow-node factor %g outside (0,1)", f.Factor)
+		}
+		_, err := c.Service(f.Service)
+		return err
+	case KindLossyEdge:
+		if f.LossProb < 0 || f.LossProb > 1 {
+			return fmt.Errorf("fault: lossy-edge loss probability %g outside [0,1]", f.LossProb)
+		}
+		if f.ExtraDelay < 0 {
+			return fmt.Errorf("fault: lossy-edge negative extra delay")
+		}
+		if f.ExtraDelay == 0 && f.LossProb == 0 {
+			return fmt.Errorf("fault: lossy-edge %s->%s has neither delay nor loss", f.Caller, f.Callee)
+		}
+		if _, err := c.Service(f.Caller); err != nil {
+			return err
+		}
+		_, err := c.Service(f.Callee)
+		return err
+	case KindPoolClamp:
+		if f.Size < 0 {
+			return fmt.Errorf("fault: pool-clamp negative size")
+		}
+		_, err := c.PoolSize(f.Ref)
+		return err
+	default:
+		return fmt.Errorf("fault: unknown kind %d", int(f.Kind))
+	}
+}
+
+// target describes what the fault hits, for windows and telemetry.
+func (f Fault) target() string {
+	switch f.Kind {
+	case KindLossyEdge:
+		return f.Caller + "->" + f.Callee
+	case KindPoolClamp:
+		return f.Ref.String()
+	default:
+		return f.Service
+	}
+}
+
+// Plan is a named, declarative fault schedule.
+type Plan struct {
+	Name   string
+	Faults []Fault
+}
+
+// Validate checks every fault in the plan against the cluster.
+func (p Plan) Validate(c *cluster.Cluster) error {
+	if len(p.Faults) == 0 {
+		return fmt.Errorf("fault: plan %q has no faults", p.Name)
+	}
+	for i, f := range p.Faults {
+		if err := f.validate(c); err != nil {
+			return fmt.Errorf("plan %q fault %d: %w", p.Name, i, err)
+		}
+	}
+	return nil
+}
+
+// Window is one resolved fault interval, for per-window reporting.
+type Window struct {
+	Fault  Fault
+	Target string   // resolved target (pod id, edge, or pool ref)
+	Start  sim.Time // virtual injection time
+	End    sim.Time // virtual recovery time; 0 when permanent
+}
+
+// Engine schedules a plan's faults onto a cluster's kernel.
+type Engine struct {
+	k       *sim.Kernel
+	c       *cluster.Cluster
+	plan    Plan
+	started bool
+	windows []Window
+}
+
+// New validates the plan against the cluster and returns an engine
+// ready to Start.
+func New(c *cluster.Cluster, plan Plan) (*Engine, error) {
+	if c == nil {
+		return nil, fmt.Errorf("fault: nil cluster")
+	}
+	if err := plan.Validate(c); err != nil {
+		return nil, err
+	}
+	return &Engine{k: c.Kernel(), c: c, plan: plan}, nil
+}
+
+// injectorLabel derives the Kernel.Split label of injector i, so each
+// fault owns an independent deterministic stream regardless of how the
+// plan is reordered or extended.
+func injectorLabel(i int) uint64 { return 0xfa01_7000 + uint64(i) }
+
+// Start schedules every fault relative to the current virtual time.
+// Call once, before running the kernel.
+func (e *Engine) Start() {
+	if e.started {
+		return
+	}
+	e.started = true
+	base := e.k.Now()
+	for i := range e.plan.Faults {
+		f := e.plan.Faults[i]
+		idx := i
+		e.k.At(base+sim.Time(f.At), func() { e.inject(idx, f) })
+	}
+}
+
+// inject activates one fault and schedules its recovery.
+func (e *Engine) inject(idx int, f Fault) {
+	now := e.k.Now()
+	var undo func()
+	var target string
+	switch f.Kind {
+	case KindCrash, KindSlowNode:
+		in := e.pickPod(idx, f)
+		if in == nil {
+			return // every pod already down; nothing to hit
+		}
+		target = in.ID()
+		if f.Kind == KindCrash {
+			in.Crash()
+			undo = in.Restore
+		} else {
+			in.SetDegrade(f.Factor)
+			undo = func() { in.SetDegrade(0) }
+		}
+	case KindLossyEdge:
+		target = f.target()
+		_ = e.c.SetEdgeFault(f.Caller, f.Callee, cluster.EdgeFault{
+			ExtraDelay: f.ExtraDelay,
+			LossProb:   f.LossProb,
+		})
+		undo = func() { _ = e.c.SetEdgeFault(f.Caller, f.Callee, cluster.EdgeFault{}) }
+	case KindPoolClamp:
+		target = f.target()
+		prev, err := e.c.PoolSize(f.Ref)
+		if err != nil {
+			return
+		}
+		_ = e.c.SetPoolSize(f.Ref, f.Size)
+		undo = func() {
+			// Restore only if nothing re-tuned the pool during the
+			// window — a controller's decision outranks the chaos plan.
+			if cur, err := e.c.PoolSize(f.Ref); err == nil && cur == f.Size {
+				_ = e.c.SetPoolSize(f.Ref, prev)
+			}
+		}
+	}
+	win := Window{Fault: f, Target: target, Start: now}
+	if f.Duration > 0 {
+		win.End = now + sim.Time(f.Duration)
+	}
+	e.windows = append(e.windows, win)
+	e.publish(now, "fault.inject", f, target)
+	if f.Duration > 0 {
+		e.k.At(win.End, func() {
+			undo()
+			e.publish(e.k.Now(), "fault.recover", f, target)
+		})
+	}
+}
+
+// pickPod resolves the target pod of a crash/slow-node fault at
+// injection time: live (non-draining, non-down) pods only, indexed
+// modulo the live count, or drawn from the injector's stream for
+// negative indices.
+func (e *Engine) pickPod(idx int, f Fault) *cluster.Instance {
+	svc, err := e.c.Service(f.Service)
+	if err != nil {
+		return nil
+	}
+	var live []*cluster.Instance
+	for _, in := range svc.Instances() {
+		if !in.Draining() && !in.Down() {
+			live = append(live, in)
+		}
+	}
+	if len(live) == 0 {
+		return nil
+	}
+	if f.Pod >= 0 {
+		return live[f.Pod%len(live)]
+	}
+	return live[e.k.Split(injectorLabel(idx)).IntN(len(live))]
+}
+
+// publish emits one fault lifecycle event.
+func (e *Engine) publish(now sim.Time, kind string, f Fault, target string) {
+	tel := e.c.Telemetry()
+	if tel == nil {
+		return
+	}
+	attrs := []telemetry.Attr{
+		telemetry.String("kind", f.Kind.String()),
+		telemetry.String("target", target),
+	}
+	if kind == "fault.inject" {
+		switch f.Kind {
+		case KindSlowNode:
+			attrs = append(attrs, telemetry.Float("factor", f.Factor))
+		case KindLossyEdge:
+			attrs = append(attrs,
+				telemetry.Int("extra_delay_us", int(f.ExtraDelay/time.Microsecond)),
+				telemetry.Float("loss_prob", f.LossProb))
+		case KindPoolClamp:
+			attrs = append(attrs, telemetry.Int("size", f.Size))
+		}
+		tel.Publish(now, "fault.inject", attrs...)
+		return
+	}
+	tel.Publish(now, "fault.recover", attrs...)
+}
+
+// Windows returns the resolved fault windows in injection order.
+func (e *Engine) Windows() []Window {
+	out := make([]Window, len(e.windows))
+	copy(out, e.windows)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}

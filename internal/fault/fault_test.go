@@ -1,0 +1,284 @@
+package fault
+
+import (
+	"testing"
+	"time"
+
+	"sora/internal/cluster"
+	"sora/internal/dist"
+	"sora/internal/sim"
+	"sora/internal/telemetry"
+)
+
+// testApp is a minimal frontend -> backend topology with a clampable
+// backend thread pool.
+func testApp(backendReplicas int) cluster.App {
+	rt := &cluster.RequestType{
+		Name: "get",
+		Root: &cluster.CallNode{
+			Service: "frontend",
+			ReqWork: dist.NewDeterministic(time.Millisecond),
+			Children: []*cluster.CallNode{{
+				Service: "backend",
+				ReqWork: dist.NewDeterministic(4 * time.Millisecond),
+			}},
+		},
+	}
+	return cluster.App{
+		Name: "fault-test",
+		Services: []cluster.ServiceSpec{
+			{Name: "frontend", Replicas: 1, Cores: 4},
+			{Name: "backend", Replicas: backendReplicas, Cores: 2, ThreadPool: 8},
+		},
+		Mix: []cluster.WeightedRequest{{Type: rt, Weight: 1}},
+	}
+}
+
+func mustCluster(t *testing.T, k *sim.Kernel, app cluster.App, rec *telemetry.Recorder) *cluster.Cluster {
+	t.Helper()
+	c, err := cluster.New(k, app, cluster.Options{Telemetry: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func backendRef() cluster.ResourceRef {
+	return cluster.ResourceRef{Service: "backend", Kind: cluster.PoolThreads}
+}
+
+func TestPlanValidation(t *testing.T) {
+	k := sim.NewKernel(1)
+	c := mustCluster(t, k, testApp(1), nil)
+	cases := []struct {
+		name string
+		f    Fault
+	}{
+		{"unknown kind", Fault{}},
+		{"negative time", Fault{Kind: KindCrash, At: -time.Second, Service: "backend"}},
+		{"unknown crash service", Fault{Kind: KindCrash, Service: "nope"}},
+		{"slow factor too high", Fault{Kind: KindSlowNode, Service: "backend", Factor: 1}},
+		{"slow factor zero", Fault{Kind: KindSlowNode, Service: "backend"}},
+		{"lossy without parameters", Fault{Kind: KindLossyEdge, Caller: "frontend", Callee: "backend"}},
+		{"lossy bad probability", Fault{Kind: KindLossyEdge, Caller: "frontend", Callee: "backend", LossProb: 1.5}},
+		{"lossy unknown callee", Fault{Kind: KindLossyEdge, Caller: "frontend", Callee: "nope", LossProb: 0.5}},
+		{"clamp unknown pool", Fault{Kind: KindPoolClamp, Ref: cluster.ResourceRef{Service: "nope", Kind: cluster.PoolThreads}, Size: 2}},
+		{"clamp negative size", Fault{Kind: KindPoolClamp, Ref: backendRef(), Size: -1}},
+	}
+	for _, tc := range cases {
+		p := Plan{Name: tc.name, Faults: []Fault{tc.f}}
+		if err := p.Validate(c); err == nil {
+			t.Errorf("%s: Validate accepted an invalid fault", tc.name)
+		}
+	}
+	if err := (Plan{Name: "empty"}).Validate(c); err == nil {
+		t.Error("empty plan validated")
+	}
+	good := Plan{Name: "ok", Faults: []Fault{
+		{Kind: KindCrash, At: time.Second, Duration: time.Second, Service: "backend"},
+		{Kind: KindSlowNode, At: time.Second, Duration: time.Second, Service: "backend", Factor: 0.5},
+		{Kind: KindLossyEdge, At: time.Second, Caller: "frontend", Callee: "backend", ExtraDelay: time.Millisecond},
+		{Kind: KindPoolClamp, At: time.Second, Ref: backendRef(), Size: 2},
+	}}
+	if err := good.Validate(c); err != nil {
+		t.Errorf("valid plan rejected: %v", err)
+	}
+}
+
+func TestNamedPlans(t *testing.T) {
+	full := Targets{
+		CrashService: "backend",
+		SlowService:  "backend",
+		EdgeCaller:   "frontend",
+		EdgeCallee:   "backend",
+		ClampRef:     backendRef(),
+		ClampSize:    2,
+	}
+	wantCount := map[string]int{"crash": 1, "slownode": 1, "lossy": 1, "clamp": 1, "combo": 4}
+	for _, name := range Names() {
+		p, err := NamedPlan(name, full, time.Minute)
+		if err != nil {
+			t.Fatalf("NamedPlan(%s): %v", name, err)
+		}
+		if len(p.Faults) != wantCount[name] {
+			t.Errorf("plan %s has %d faults, want %d", name, len(p.Faults), wantCount[name])
+		}
+		for _, f := range p.Faults {
+			if f.At <= 0 || f.At >= time.Minute {
+				t.Errorf("plan %s: fault at %v outside the run", name, f.At)
+			}
+			if f.Duration <= 0 || f.At+f.Duration > time.Minute {
+				t.Errorf("plan %s: window %v+%v escapes the run", name, f.At, f.Duration)
+			}
+		}
+	}
+	// Partial targets shrink combo instead of failing.
+	partial := Targets{CrashService: "backend"}
+	p, err := NamedPlan("combo", partial, time.Minute)
+	if err != nil || len(p.Faults) != 1 {
+		t.Errorf("combo with crash-only targets = %d faults (%v), want 1", len(p.Faults), err)
+	}
+	if _, err := NamedPlan("lossy", partial, time.Minute); err == nil {
+		t.Error("lossy plan without edge targets accepted")
+	}
+	if _, err := NamedPlan("nope", full, time.Minute); err == nil {
+		t.Error("unknown plan name accepted")
+	}
+	if _, err := NamedPlan("combo", full, 0); err == nil {
+		t.Error("zero duration accepted")
+	}
+}
+
+func TestEngineWindowsAndEvents(t *testing.T) {
+	k := sim.NewKernel(2)
+	rec := telemetry.NewRecorder("test")
+	c := mustCluster(t, k, testApp(1), rec)
+	plan := Plan{Name: "t", Faults: []Fault{
+		{Kind: KindLossyEdge, At: 30 * time.Millisecond, Duration: 20 * time.Millisecond,
+			Caller: "frontend", Callee: "backend", ExtraDelay: time.Millisecond},
+		{Kind: KindCrash, At: 10 * time.Millisecond, Duration: 20 * time.Millisecond, Service: "backend", Pod: 0},
+	}}
+	eng, err := New(c, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Start()
+	be, _ := c.Service("backend")
+	in := be.Instances()[0]
+	k.RunUntil(sim.Time(15 * time.Millisecond))
+	if !in.Down() {
+		t.Error("backend pod not down during crash window")
+	}
+	k.Run()
+	if in.Down() {
+		t.Error("backend pod still down after recovery")
+	}
+
+	wins := eng.Windows()
+	if len(wins) != 2 {
+		t.Fatalf("got %d windows, want 2", len(wins))
+	}
+	// Sorted by start, regardless of plan order.
+	if wins[0].Fault.Kind != KindCrash || wins[1].Fault.Kind != KindLossyEdge {
+		t.Errorf("window order = %v, %v", wins[0].Fault.Kind, wins[1].Fault.Kind)
+	}
+	if wins[0].Target != in.ID() {
+		t.Errorf("crash target = %q, want %q", wins[0].Target, in.ID())
+	}
+	if wins[0].Start != sim.Time(10*time.Millisecond) || wins[0].End != sim.Time(30*time.Millisecond) {
+		t.Errorf("crash window = [%v, %v]", wins[0].Start, wins[0].End)
+	}
+
+	var injects, recovers int
+	for _, ev := range rec.Events() {
+		switch ev.Kind {
+		case "fault.inject":
+			injects++
+		case "fault.recover":
+			recovers++
+		}
+	}
+	if injects != 2 || recovers != 2 {
+		t.Errorf("events = %d injects / %d recovers, want 2/2", injects, recovers)
+	}
+}
+
+// TestEnginePodPickDeterminism: the random pod draw comes from the
+// injector's Split stream, so the same seed picks the same pod, and
+// the explicit index is taken modulo the live count.
+func TestEnginePodPickDeterminism(t *testing.T) {
+	pick := func(seed uint64) string {
+		k := sim.NewKernel(seed)
+		c, err := cluster.New(k, testApp(5), cluster.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := New(c, Plan{Name: "t", Faults: []Fault{
+			{Kind: KindCrash, At: time.Millisecond, Duration: time.Millisecond, Service: "backend", Pod: -1},
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng.Start()
+		k.Run()
+		return eng.Windows()[0].Target
+	}
+	if a, b := pick(7), pick(7); a != b {
+		t.Errorf("same seed picked %q then %q", a, b)
+	}
+
+	k := sim.NewKernel(3)
+	c := mustCluster(t, k, testApp(3), nil)
+	eng, err := New(c, Plan{Name: "t", Faults: []Fault{
+		{Kind: KindCrash, At: time.Millisecond, Duration: time.Millisecond, Service: "backend", Pod: 4},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Start()
+	k.Run()
+	if got := eng.Windows()[0].Target; got != "backend-1" {
+		t.Errorf("pod 4 of 3 live = %q, want backend-1", got)
+	}
+}
+
+// TestPoolClampRespectsRetune: recovery restores the pre-clamp size
+// only when nothing else re-tuned the pool during the window.
+func TestPoolClampRespectsRetune(t *testing.T) {
+	run := func(retune bool) int {
+		k := sim.NewKernel(4)
+		c, err := cluster.New(k, testApp(1), cluster.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := New(c, Plan{Name: "t", Faults: []Fault{
+			{Kind: KindPoolClamp, At: 10 * time.Millisecond, Duration: 10 * time.Millisecond, Ref: backendRef(), Size: 2},
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng.Start()
+		if retune {
+			// A controller decision mid-window outranks the chaos undo.
+			k.At(sim.Time(15*time.Millisecond), func() {
+				if err := c.SetPoolSize(backendRef(), 13); err != nil {
+					t.Error(err)
+				}
+			})
+		}
+		k.RunUntil(sim.Time(12 * time.Millisecond))
+		if size, _ := c.PoolSize(backendRef()); size != 2 {
+			t.Errorf("pool = %d during clamp, want 2", size)
+		}
+		k.Run()
+		size, err := c.PoolSize(backendRef())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return size
+	}
+	if got := run(false); got != 8 {
+		t.Errorf("undisturbed clamp restored pool to %d, want 8", got)
+	}
+	if got := run(true); got != 13 {
+		t.Errorf("re-tuned pool ended at %d, want 13 (controller wins)", got)
+	}
+}
+
+// TestEngineStartIsIdempotent: a second Start must not double-schedule.
+func TestEngineStartIsIdempotent(t *testing.T) {
+	k := sim.NewKernel(5)
+	c := mustCluster(t, k, testApp(1), nil)
+	eng, err := New(c, Plan{Name: "t", Faults: []Fault{
+		{Kind: KindSlowNode, At: time.Millisecond, Duration: time.Millisecond, Service: "backend", Factor: 0.5},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Start()
+	eng.Start()
+	k.Run()
+	if got := len(eng.Windows()); got != 1 {
+		t.Errorf("windows = %d after double Start, want 1", got)
+	}
+}

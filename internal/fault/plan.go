@@ -1,0 +1,103 @@
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"sora/internal/cluster"
+)
+
+// Targets names the victims a canned plan aims at: one service to
+// crash, one to slow down, one RPC edge to make lossy, and optionally
+// one soft-resource pool to clamp. Fields left zero disable the
+// corresponding faults.
+type Targets struct {
+	// CrashService loses one pod (drawn from the injector's stream).
+	CrashService string
+	// SlowService has one pod's CPU scaled down to 30%.
+	SlowService string
+	// EdgeCaller -> EdgeCallee gains extra latency and call loss.
+	EdgeCaller, EdgeCallee string
+	// ClampRef, when non-zero, is forced to ClampSize for its window.
+	ClampRef  cluster.ResourceRef
+	ClampSize int
+}
+
+// Named-plan fault parameters: injection times are fractions of the run
+// so the same plan scales with -scale, and the magnitudes are chosen to
+// stress — not obliterate — a healthy configuration.
+const (
+	slowFactor     = 0.3
+	edgeExtraDelay = 20 * time.Millisecond
+	edgeLossProb   = 0.15
+)
+
+// NamedPlan builds one of the canned fault schedules over the given
+// targets, with all times expressed as fractions of dur (so a scaled
+// run keeps the same shape). See Names for the available plans.
+func NamedPlan(name string, t Targets, dur time.Duration) (Plan, error) {
+	if dur <= 0 {
+		return Plan{}, fmt.Errorf("fault: named plan needs a positive duration")
+	}
+	at := func(frac float64) time.Duration { return time.Duration(float64(dur) * frac) }
+
+	crash := func(start, length float64) []Fault {
+		if t.CrashService == "" {
+			return nil
+		}
+		return []Fault{{Kind: KindCrash, At: at(start), Duration: at(length), Service: t.CrashService, Pod: -1}}
+	}
+	slow := func(start, length float64) []Fault {
+		if t.SlowService == "" {
+			return nil
+		}
+		return []Fault{{Kind: KindSlowNode, At: at(start), Duration: at(length), Service: t.SlowService, Pod: -1, Factor: slowFactor}}
+	}
+	lossy := func(start, length float64) []Fault {
+		if t.EdgeCaller == "" || t.EdgeCallee == "" {
+			return nil
+		}
+		return []Fault{{
+			Kind: KindLossyEdge, At: at(start), Duration: at(length),
+			Caller: t.EdgeCaller, Callee: t.EdgeCallee,
+			ExtraDelay: edgeExtraDelay, LossProb: edgeLossProb,
+		}}
+	}
+	clamp := func(start, length float64) []Fault {
+		if t.ClampRef == (cluster.ResourceRef{}) {
+			return nil
+		}
+		return []Fault{{Kind: KindPoolClamp, At: at(start), Duration: at(length), Ref: t.ClampRef, Size: t.ClampSize}}
+	}
+
+	p := Plan{Name: name}
+	switch name {
+	case "crash":
+		p.Faults = crash(0.30, 0.15)
+	case "slownode":
+		p.Faults = slow(0.30, 0.25)
+	case "lossy":
+		p.Faults = lossy(0.30, 0.25)
+	case "clamp":
+		p.Faults = clamp(0.30, 0.20)
+	case "combo":
+		p.Faults = append(p.Faults, crash(0.20, 0.10)...)
+		p.Faults = append(p.Faults, slow(0.40, 0.15)...)
+		p.Faults = append(p.Faults, lossy(0.65, 0.15)...)
+		p.Faults = append(p.Faults, clamp(0.80, 0.10)...)
+	default:
+		return Plan{}, fmt.Errorf("fault: unknown plan %q (have %v)", name, Names())
+	}
+	if len(p.Faults) == 0 {
+		return Plan{}, fmt.Errorf("fault: plan %q has no faults for the given targets", name)
+	}
+	return p, nil
+}
+
+// Names lists the canned plans NamedPlan accepts, sorted.
+func Names() []string {
+	names := []string{"crash", "slownode", "lossy", "clamp", "combo"}
+	sort.Strings(names)
+	return names
+}

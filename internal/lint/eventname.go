@@ -20,6 +20,10 @@ var EventNames = []string{
 	"controller.decision",
 	"controller.error",
 	"controller.hardware",
+	"fault.inject",
+	"fault.recover",
+	"resilience.breaker",
+	"resilience.retry",
 }
 
 // eventNameRE is the shape every event kind must have: lowercase

@@ -113,6 +113,11 @@ func (s *Series) lowerBound(t sim.Time) int {
 type Completion struct {
 	At sim.Time      // completion (departure) time
 	RT time.Duration // end-to-end response time
+	// Degraded marks a completion that returned a partial response (an
+	// optional downstream call was dropped by the resilience layer).
+	// Degraded completions count toward throughput but never toward
+	// goodput, regardless of how fast the partial answer came back.
+	Degraded bool
 }
 
 // CompletionLog is an append-only log of request completions, stored in
@@ -125,10 +130,16 @@ type CompletionLog struct {
 
 // Add appends a completion; out-of-order appends panic (see Series.Add).
 func (l *CompletionLog) Add(at sim.Time, rt time.Duration) {
+	l.AddFlagged(at, rt, false)
+}
+
+// AddFlagged appends a completion carrying the degraded marker;
+// out-of-order appends panic (see Series.Add).
+func (l *CompletionLog) AddFlagged(at sim.Time, rt time.Duration, degraded bool) {
 	if n := len(l.completions); n > 0 && at < l.completions[n-1].At {
 		panic(fmt.Sprintf("metrics: out-of-order completion at %v after %v", at, l.completions[n-1].At))
 	}
-	l.completions = append(l.completions, Completion{At: at, RT: rt})
+	l.completions = append(l.completions, Completion{At: at, RT: rt, Degraded: degraded})
 }
 
 // Len returns the number of recorded completions.
@@ -157,16 +168,36 @@ func (l *CompletionLog) Window(since, until sim.Time) []Completion {
 }
 
 // Counts returns (goodput, badput) request counts in [since, until)
-// against the given response-time threshold.
+// against the given response-time threshold. Degraded completions are
+// badput whatever their latency: a fast partial answer does not meet
+// the SLA.
 func (l *CompletionLog) Counts(since, until sim.Time, threshold time.Duration) (good, bad int) {
 	for _, c := range l.completions[l.lowerBound(since):l.lowerBound(until)] {
-		if c.RT <= threshold {
+		if !c.Degraded && c.RT <= threshold {
 			good++
 		} else {
 			bad++
 		}
 	}
 	return good, bad
+}
+
+// CountsByOutcome splits the completions of [since, until) three ways
+// against the threshold: good (full response within the SLA), degraded
+// (partial response, any latency), violated (full response over the
+// SLA). The chaos experiments report these fractions per fault window.
+func (l *CompletionLog) CountsByOutcome(since, until sim.Time, threshold time.Duration) (good, degraded, violated int) {
+	for _, c := range l.completions[l.lowerBound(since):l.lowerBound(until)] {
+		switch {
+		case c.Degraded:
+			degraded++
+		case c.RT <= threshold:
+			good++
+		default:
+			violated++
+		}
+	}
+	return good, degraded, violated
 }
 
 // GoodputRate returns the goodput in requests/second over [since, until)
@@ -206,7 +237,7 @@ func (l *CompletionLog) BucketRates(since, until sim.Time, bucket time.Duration,
 			continue
 		}
 		throughput[idx]++
-		if c.RT <= threshold {
+		if !c.Degraded && c.RT <= threshold {
 			goodput[idx]++
 		}
 	}

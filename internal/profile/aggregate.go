@@ -52,16 +52,18 @@ func newSvcAgg() *svcAgg {
 // across every unit of a parallel experiment without breaking the
 // serial/parallel artifact-equivalence guarantee.
 type Aggregator struct {
-	mu           sync.Mutex
-	slo          time.Duration
-	traces       uint64
-	violations   uint64
-	droppedSpans uint64
-	failedSpans  uint64
-	sumRT        time.Duration
-	sumExcess    time.Duration
-	svcs         map[string]*svcAgg
-	folded       map[string]time.Duration
+	mu             sync.Mutex
+	slo            time.Duration
+	traces         uint64
+	violations     uint64
+	droppedSpans   uint64
+	failedSpans    uint64
+	degradedSpans  uint64
+	abandonedSpans uint64
+	sumRT          time.Duration
+	sumExcess      time.Duration
+	svcs           map[string]*svcAgg
+	folded         map[string]time.Duration
 }
 
 // NewAggregator returns an empty aggregator. A positive slo enables the
@@ -107,7 +109,7 @@ func (a *Aggregator) Add(t *trace.Trace) {
 	for i, s := range path {
 		ph := SpanPhases(s)
 		charges := [NumPhases]time.Duration{
-			ph.Queue, ph.CPU, ph.Contend, ph.ConnWait, ph.Blocked,
+			ph.Queue, ph.CPU, ph.Contend, ph.ConnWait, ph.Blocked, ph.Retry, ph.Breaker,
 		}
 		if i+1 < len(path) {
 			charges[PhaseBlocked] -= spanWall(path[i+1])
@@ -140,6 +142,12 @@ func (a *Aggregator) Add(t *trace.Trace) {
 		}
 		if s.Failed {
 			a.failedSpans++
+		}
+		if s.Degraded {
+			a.degradedSpans++
+		}
+		if s.Abandoned {
+			a.abandonedSpans++
 		}
 	})
 }
@@ -209,15 +217,17 @@ type FoldedLine struct {
 // services ordered by descending total blame (ties by name), folded
 // stacks in lexicographic order.
 type Profile struct {
-	SLO          time.Duration
-	Traces       uint64
-	Violations   uint64
-	DroppedSpans uint64
-	FailedSpans  uint64
-	SumRT        time.Duration
-	SumExcess    time.Duration
-	Services     []ServiceProfile
-	Folded       []FoldedLine
+	SLO            time.Duration
+	Traces         uint64
+	Violations     uint64
+	DroppedSpans   uint64
+	FailedSpans    uint64
+	DegradedSpans  uint64
+	AbandonedSpans uint64
+	SumRT          time.Duration
+	SumExcess      time.Duration
+	Services       []ServiceProfile
+	Folded         []FoldedLine
 }
 
 // Snapshot renders the aggregator's current state. Nil-receiver safe
@@ -229,13 +239,15 @@ func (a *Aggregator) Snapshot() *Profile {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	p := &Profile{
-		SLO:          a.slo,
-		Traces:       a.traces,
-		Violations:   a.violations,
-		DroppedSpans: a.droppedSpans,
-		FailedSpans:  a.failedSpans,
-		SumRT:        a.sumRT,
-		SumExcess:    a.sumExcess,
+		SLO:            a.slo,
+		Traces:         a.traces,
+		Violations:     a.violations,
+		DroppedSpans:   a.droppedSpans,
+		FailedSpans:    a.failedSpans,
+		DegradedSpans:  a.degradedSpans,
+		AbandonedSpans: a.abandonedSpans,
+		SumRT:          a.sumRT,
+		SumExcess:      a.sumExcess,
 	}
 	for name, svc := range a.svcs {
 		p.Services = append(p.Services, ServiceProfile{
@@ -309,8 +321,9 @@ func (p *Profile) WriteTable(w io.Writer) error {
 			return err
 		}
 	}
-	if p.DroppedSpans > 0 || p.FailedSpans > 0 {
-		if _, err := fmt.Fprintf(w, "markers: %d dropped visits, %d failed subtrees\n", p.DroppedSpans, p.FailedSpans); err != nil {
+	if p.DroppedSpans > 0 || p.FailedSpans > 0 || p.DegradedSpans > 0 || p.AbandonedSpans > 0 {
+		if _, err := fmt.Fprintf(w, "markers: %d dropped visits, %d failed subtrees, %d degraded responses, %d abandoned calls\n",
+			p.DroppedSpans, p.FailedSpans, p.DegradedSpans, p.AbandonedSpans); err != nil {
 			return err
 		}
 	}

@@ -5,7 +5,7 @@
 //
 // # Phase taxonomy
 //
-// Every service visit (trace.Span) decomposes into five phases:
+// Every service visit (trace.Span) decomposes into seven phases:
 //
 //	queue    — admission-queue wait (Arrival → Start): the request sat
 //	           in front of an under-provisioned soft resource.
@@ -17,10 +17,14 @@
 //	connwait — waiting for a downstream connection-pool slot (db or
 //	           client pool), off-CPU but not blocked on an in-flight RPC.
 //	blocked  — waiting on downstream RPCs that are in flight.
+//	retry    — waiting out retry backoff after a failed downstream
+//	           attempt (the resilience layer's exponential backoff).
+//	breaker  — waiting out backoff caused by circuit-breaker
+//	           rejections (the call never left this service).
 //
-// The decomposition is exact by construction: the five phases of a span
-// sum to its wall time (End - Arrival), with any inconsistency in the
-// underlying counters resolved by clamping remainders, never by
+// The decomposition is exact by construction: the seven phases of a
+// span sum to its wall time (End - Arrival), with any inconsistency in
+// the underlying counters resolved by clamping remainders, never by
 // dropping time.
 //
 // # Critical-path blame
@@ -52,12 +56,14 @@ const (
 	PhaseContend
 	PhaseConnWait
 	PhaseBlocked
+	PhaseRetry
+	PhaseBreaker
 	NumPhases int = iota
 )
 
 // phaseNames are the canonical short names used in tables, folded
 // stacks, and metric labels.
-var phaseNames = [NumPhases]string{"queue", "cpu", "contend", "connwait", "blocked"}
+var phaseNames = [NumPhases]string{"queue", "cpu", "contend", "connwait", "blocked", "retry", "breaker"}
 
 // String returns the phase's canonical short name.
 func (p Phase) String() string {
@@ -77,13 +83,15 @@ func PhaseByName(name string) (Phase, bool) {
 	return 0, false
 }
 
-// Phases is the exact five-way decomposition of one span's wall time.
+// Phases is the exact seven-way decomposition of one span's wall time.
 type Phases struct {
 	Queue    time.Duration // admission wait (Arrival → Start)
 	CPU      time.Duration // ideal CPU demand
 	Contend  time.Duration // PS-contention inflation beyond the demand
 	ConnWait time.Duration // waiting for a connection-pool slot
 	Blocked  time.Duration // blocked on in-flight downstream RPCs
+	Retry    time.Duration // waiting out retry backoff
+	Breaker  time.Duration // waiting out breaker-rejection backoff
 }
 
 // Get returns the named phase's duration.
@@ -97,6 +105,10 @@ func (p Phases) Get(ph Phase) time.Duration {
 		return p.Contend
 	case PhaseConnWait:
 		return p.ConnWait
+	case PhaseRetry:
+		return p.Retry
+	case PhaseBreaker:
+		return p.Breaker
 	default:
 		return p.Blocked
 	}
@@ -104,7 +116,7 @@ func (p Phases) Get(ph Phase) time.Duration {
 
 // Total returns the sum of all phases, which equals the span's wall time.
 func (p Phases) Total() time.Duration {
-	return p.Queue + p.CPU + p.Contend + p.ConnWait + p.Blocked
+	return p.Queue + p.CPU + p.Contend + p.ConnWait + p.Blocked + p.Retry + p.Breaker
 }
 
 // spanWall returns the span's wall time clamped to be non-negative.
@@ -127,22 +139,27 @@ func clamp(v, hi time.Duration) time.Duration {
 	return v
 }
 
-// SpanPhases decomposes one span into the five phases. The phases sum
+// SpanPhases decomposes one span into the seven phases. The phases sum
 // exactly to the span's wall time: each counter is clamped against the
 // remainder left by the phases before it (queue, then blocked, then
-// on-CPU, then ideal demand), so recording skew can shift time between
-// adjacent phases but never create or destroy it.
+// retry and breaker backoff, then on-CPU, then ideal demand), so
+// recording skew can shift time between adjacent phases but never
+// create or destroy it.
 func SpanPhases(s *trace.Span) Phases {
 	d := spanWall(s)
 	q := clamp(time.Duration(s.Start-s.Arrival), d)
 	rem := d - q
 	b := clamp(s.Blocked, rem)
-	pt := rem - b // processing: on-CPU plus connection-slot waits
+	rem -= b
+	rtr := clamp(s.RetryWait, rem)
+	rem -= rtr
+	brk := clamp(s.BreakerWait, rem)
+	pt := rem - brk // processing: on-CPU plus connection-slot waits
 	cpu := clamp(s.CPU, pt)
 	conn := pt - cpu
 	ideal := clamp(s.Demand, cpu)
 	contend := cpu - ideal
-	return Phases{Queue: q, CPU: ideal, Contend: contend, ConnWait: conn, Blocked: b}
+	return Phases{Queue: q, CPU: ideal, Contend: contend, ConnWait: conn, Blocked: b, Retry: rtr, Breaker: brk}
 }
 
 // Charge is one blame assignment: this much of the trace's response
@@ -190,6 +207,8 @@ func Blame(t *trace.Trace) []Charge {
 		emit(s.Service, PhaseContend, ph.Contend)
 		emit(s.Service, PhaseConnWait, ph.ConnWait)
 		emit(s.Service, PhaseBlocked, blocked)
+		emit(s.Service, PhaseRetry, ph.Retry)
+		emit(s.Service, PhaseBreaker, ph.Breaker)
 	}
 	return charges
 }

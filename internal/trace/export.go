@@ -32,8 +32,12 @@ type SpanRecord struct {
 	BlockedNs int64        `json:"blocked_ns,omitempty"`
 	DemandNs  int64        `json:"demand_ns,omitempty"`
 	CPUNs     int64        `json:"cpu_ns,omitempty"`
+	RetryNs   int64        `json:"retry_wait_ns,omitempty"`
+	BreakerNs int64        `json:"breaker_wait_ns,omitempty"`
 	Dropped   bool         `json:"dropped,omitempty"`
 	Failed    bool         `json:"failed,omitempty"`
+	Degraded  bool         `json:"degraded,omitempty"`
+	Abandoned bool         `json:"abandoned,omitempty"`
 	Children  []SpanRecord `json:"children,omitempty"`
 
 	// Legacy microsecond fields: read by Import for archives produced
@@ -62,8 +66,12 @@ func toRecord(s *Span) SpanRecord {
 		BlockedNs: int64(s.Blocked),
 		DemandNs:  int64(s.Demand),
 		CPUNs:     int64(s.CPU),
+		RetryNs:   int64(s.RetryWait),
+		BreakerNs: int64(s.BreakerWait),
 		Dropped:   s.Dropped,
 		Failed:    s.Failed,
+		Degraded:  s.Degraded,
+		Abandoned: s.Abandoned,
 	}
 	for _, c := range s.Children {
 		rec.Children = append(rec.Children, toRecord(c))
@@ -80,17 +88,21 @@ func (rec *SpanRecord) legacy() bool {
 
 func fromRecord(rec SpanRecord) *Span {
 	s := &Span{
-		Service:  rec.Service,
-		Instance: rec.Instance,
-		Depth:    rec.Depth,
-		Arrival:  time.Duration(rec.ArrivalNs),
-		Start:    time.Duration(rec.StartNs),
-		End:      time.Duration(rec.EndNs),
-		Blocked:  time.Duration(rec.BlockedNs),
-		Demand:   time.Duration(rec.DemandNs),
-		CPU:      time.Duration(rec.CPUNs),
-		Dropped:  rec.Dropped,
-		Failed:   rec.Failed,
+		Service:     rec.Service,
+		Instance:    rec.Instance,
+		Depth:       rec.Depth,
+		Arrival:     time.Duration(rec.ArrivalNs),
+		Start:       time.Duration(rec.StartNs),
+		End:         time.Duration(rec.EndNs),
+		Blocked:     time.Duration(rec.BlockedNs),
+		Demand:      time.Duration(rec.DemandNs),
+		CPU:         time.Duration(rec.CPUNs),
+		RetryWait:   time.Duration(rec.RetryNs),
+		BreakerWait: time.Duration(rec.BreakerNs),
+		Dropped:     rec.Dropped,
+		Failed:      rec.Failed,
+		Degraded:    rec.Degraded,
+		Abandoned:   rec.Abandoned,
 	}
 	if rec.legacy() {
 		s.Arrival = time.Duration(rec.ArrivalUs) * time.Microsecond

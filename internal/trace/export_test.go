@@ -148,6 +148,62 @@ func TestExportRoundTripsPhaseMarkers(t *testing.T) {
 	}
 }
 
+func TestExportRoundTripsResilienceMarkers(t *testing.T) {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	abandoned := &Span{Service: "social-graph", Depth: 1,
+		Arrival: ms(5), Start: ms(6), End: ms(12), Abandoned: true}
+	retried := &Span{Service: "post-storage", Depth: 1,
+		Arrival: ms(14), Start: ms(15), End: ms(40)}
+	root := &Span{
+		Service: "home-timeline", Arrival: 0, Start: ms(1), End: ms(60),
+		Blocked:     30 * time.Millisecond,
+		RetryWait:   7 * time.Millisecond,
+		BreakerWait: 3 * time.Millisecond,
+		Degraded:    true,
+		Children:    []*Span{abandoned, retried},
+	}
+	orig := &Trace{ID: 2, Type: "readHomeTimeline", Root: root}
+	var buf bytes.Buffer
+	if err := Export(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Import(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := got.Root
+	if r.RetryWait != root.RetryWait || r.BreakerWait != root.BreakerWait {
+		t.Errorf("resilience waits = %v/%v, want %v/%v",
+			r.RetryWait, r.BreakerWait, root.RetryWait, root.BreakerWait)
+	}
+	if !r.Degraded {
+		t.Error("Degraded marker lost in round trip")
+	}
+	if len(r.Children) != 2 || !r.Children[0].Abandoned || r.Children[1].Abandoned {
+		t.Error("Abandoned markers changed in round trip")
+	}
+	// The derived views must agree exactly with the original: retry and
+	// breaker waits leave processing time, and abandoned children leave
+	// the critical path.
+	if got.Root.ProcessingTime() != orig.Root.ProcessingTime() {
+		t.Errorf("PT = %v, want %v", got.Root.ProcessingTime(), orig.Root.ProcessingTime())
+	}
+	gp, op := got.CriticalPathServices(), orig.CriticalPathServices()
+	if len(gp) != len(op) {
+		t.Fatalf("critical path = %v, want %v", gp, op)
+	}
+	for i := range op {
+		if gp[i] != op[i] {
+			t.Fatalf("critical path = %v, want %v", gp, op)
+		}
+	}
+	for _, svc := range gp {
+		if svc == "social-graph" {
+			t.Error("abandoned child on imported critical path")
+		}
+	}
+}
+
 func TestImportLegacyMicrosecondArchive(t *testing.T) {
 	// Archives written before the nanosecond format carry *_us fields;
 	// Import must still understand them.

@@ -50,13 +50,38 @@ type Span struct {
 	// connection-pool slots (off-CPU, not blocked on downstream RPCs).
 	CPU time.Duration
 
+	// RetryWait is the time this visit spent waiting out retry backoff
+	// after failed downstream attempts (off-CPU, holding its slot, with
+	// no RPC in flight). Disjoint from Blocked by construction.
+	RetryWait time.Duration
+
+	// BreakerWait is the time this visit spent waiting out backoff
+	// caused by circuit-breaker rejections (the call never left the
+	// caller). Disjoint from Blocked and RetryWait.
+	BreakerWait time.Duration
+
 	// Dropped marks a visit rejected at a full admission queue. Dropped
 	// spans carry Start == End == rejection time and no phase data.
 	Dropped bool
 
 	// Failed marks a visit that ran to completion but lost a downstream
-	// call in its subtree to an admission drop.
+	// call in its subtree to an admission drop, or whose pod crashed
+	// (or was already down) so the response was lost with the
+	// connection.
 	Failed bool
+
+	// Degraded marks a visit that completed with a partial response: an
+	// optional downstream call failed past its retry budget and the
+	// caller's degradation policy filled in a fallback. Failed
+	// dominates: a span is never both.
+	Degraded bool
+
+	// Abandoned marks a visit whose caller timed the attempt out: the
+	// callee still executed it (orphaned work), but the result never
+	// reached anyone. Abandoned spans are excluded from the critical
+	// path — their End can postdate the parent's — while still being
+	// archived for wasted-work analysis.
+	Abandoned bool
 
 	Children []*Span
 }
@@ -76,9 +101,10 @@ func (s *Span) QueueTime() time.Duration {
 // ProcessingTime returns PT_s as defined in section 3.2 of the paper: the
 // time the service itself contributed to the request (request-side plus
 // response-side processing, including local queueing), excluding time
-// blocked on downstream services.
+// blocked on downstream services and time waiting out retry or breaker
+// backoff (which is downstream-recovery wait, not local work).
 func (s *Span) ProcessingTime() time.Duration {
-	pt := s.Duration() - s.Blocked
+	pt := s.Duration() - s.Blocked - s.RetryWait - s.BreakerWait
 	if pt < 0 {
 		pt = 0
 	}
@@ -148,6 +174,11 @@ func (t *Trace) SpanCount() int {
 // simulator, so the critical path — and everything derived from it, such
 // as blame attribution — is stable across runs of the same seed.
 //
+// Abandoned children (attempts the caller timed out) are skipped: their
+// span can end after the parent's, so descending into one would break
+// the containment the blame telescoping relies on; the interval the
+// orphan occupied inside the parent is the parent's blocked residue.
+//
 // This matches the paper's definition ("the path of maximal duration that
 // starts with the user request and ends with the final response") and the
 // parent-child chain used by the deadline-propagation phase.
@@ -162,6 +193,9 @@ func (t *Trace) CriticalPath() []*Span {
 		var next *Span
 		var nextDur time.Duration = -1
 		for _, c := range cur.Children {
+			if c.Abandoned {
+				continue
+			}
 			if d := c.Duration(); d > nextDur {
 				next = c
 				nextDur = d
