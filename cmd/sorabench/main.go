@@ -20,6 +20,13 @@
 // and event-throughput diagnostics go to stderr so they never perturb the
 // experiment output.
 //
+// -bench-json FILE runs the kernel hot-path micro-benchmark suite
+// (internal/bench) instead of experiments and records the results as an
+// entry in FILE — the BENCH_kernel.json performance trajectory; see
+// EXPERIMENTS.md. -bench-quick shrinks the measurement window to a
+// compile-and-run smoke check whose numbers are not meaningful (used by
+// verify.sh); -bench-label/-bench-note control the recorded entry.
+//
 // -telemetry-dir DIR enables the structured event log: every experiment
 // writes <id>.events.jsonl (controller decisions, reconfigs, drops),
 // <id>.metrics.prom (Prometheus text snapshot, including per-service
@@ -36,9 +43,12 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"testing"
 	"time"
 
+	"sora/internal/bench"
 	"sora/internal/experiment"
 	"sora/internal/profile"
 	"sora/internal/telemetry"
@@ -64,8 +74,17 @@ func run() error {
 		telDir   = flag.String("telemetry-dir", "", "directory for per-experiment telemetry artifacts (optional)")
 		slo      = flag.Duration("slo", 0, "SLO for the profile artifacts' violation breakdown (0 = disabled)")
 		chaos    = flag.String("chaos", "", "run the chaos comparison under the named fault plan (see internal/fault.Names)")
+
+		benchJSON  = flag.String("bench-json", "", "run the kernel micro-benchmark suite and record the results into FILE")
+		benchQuick = flag.Bool("bench-quick", false, "shrink the bench measurement window to a smoke check (numbers not meaningful)")
+		benchLabel = flag.String("bench-label", "current", "label for the recorded bench entry (same label = refresh in place)")
+		benchNote  = flag.String("bench-note", "", "free-form note stored with the bench entry")
 	)
 	flag.Parse()
+
+	if *benchJSON != "" {
+		return runBenchSuite(*benchJSON, *benchLabel, *benchNote, *benchQuick)
+	}
 
 	if *list || (*exp == "" && *chaos == "") {
 		fmt.Println("available experiments:")
@@ -204,6 +223,45 @@ func run() error {
 	fmt.Fprintf(os.Stderr, "[total: %d experiments, %d sim runs, %s events in %v wall time — %s events/s, %d workers]\n",
 		len(results), runs, fmtCount(events), wall.Round(time.Millisecond), fmtCount(uint64(rate)), params.Workers())
 	return firstErr
+}
+
+// runBenchSuite executes the kernel micro-benchmark suite, prints the
+// results, and upserts them as an entry into the JSON report at path.
+// Quick mode shrinks the benchtime to a smoke run and skips the file
+// write, so verify.sh can exercise the whole path without committing
+// meaningless numbers.
+func runBenchSuite(path, label, note string, quick bool) error {
+	if quick {
+		testing.Init()
+		if err := flag.Set("test.benchtime", "10ms"); err != nil {
+			return err
+		}
+	}
+	results := bench.Run()
+	fmt.Printf("%-32s %12s %10s %8s %14s\n", "benchmark", "ns/op", "B/op", "allocs", "events/s")
+	for _, r := range results {
+		fmt.Printf("%-32s %12.1f %10d %8d %14s\n",
+			r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp, fmtCount(uint64(r.EventsPerSec)))
+	}
+	if quick {
+		fmt.Println("(quick mode: smoke run only, results not recorded)")
+		return nil
+	}
+	report, err := bench.LoadReport(path)
+	if err != nil {
+		return err
+	}
+	report.Upsert(bench.Entry{
+		Label:   label,
+		Go:      runtime.Version(),
+		Note:    note,
+		Results: results,
+	})
+	if err := bench.WriteReport(path, report); err != nil {
+		return err
+	}
+	fmt.Printf("recorded entry %q in %s (%d entries)\n", label, path, len(report.Entries))
+	return nil
 }
 
 // writeProfile renders one experiment's latency attribution into

@@ -249,6 +249,15 @@ type Cluster struct {
 	nextTraceID trace.ID
 	onComplete  []func(*trace.Trace)
 
+	// Request-path scratch pools. visitFree recycles visit structs (the
+	// per-span execution state); spanChunk is the slab the next spans are
+	// carved from. Spans are never reused — completed traces keep theirs
+	// in the warehouse — but slab allocation amortizes one heap object
+	// across spanChunkSize spans, and trace cohorts pruned together free
+	// whole slabs together.
+	visitFree []*visit
+	spanChunk []trace.Span
+
 	// Resilience / fault-injection state. resRNG is the deterministic
 	// stream behind backoff jitter and wire-loss decisions; edges holds
 	// per-edge policies, faults and breakers, with edgeOrder preserving
@@ -441,16 +450,22 @@ func (c *Cluster) SubmitWith(rt *RequestType, onDone func()) {
 	c.inFlight++
 	c.startVisit(rt.Root, nil, 0, 0, func(root *visit) {
 		c.inFlight--
+		// The root visit is dead once this callback returns; copy what
+		// the bookkeeping below needs and recycle the struct up front
+		// (the span tree lives on independently).
+		span := root.span
+		dropped, failed, degraded := root.dropped, root.failed, root.degraded
+		c.freeVisit(root)
 		if onDone != nil {
 			defer onDone()
 		}
-		if root.dropped {
+		if dropped {
 			// Rejected at a full admission queue somewhere along the
 			// tree with no policy absorbing it: counted in Dropped(),
 			// never in the completion logs or warehouse.
 			return
 		}
-		if root.failed {
+		if failed {
 			// An essential call was lost past its retry budget (or the
 			// root's own pod crashed): the user saw an error page.
 			// Counted in Failed(), excluded from the latency logs.
@@ -458,21 +473,79 @@ func (c *Cluster) SubmitWith(rt *RequestType, onDone func()) {
 			return
 		}
 		c.completed++
-		if root.degraded {
+		if degraded {
 			c.degraded++
 		}
 		if c.completed%pruneInterval == 0 {
 			c.housekeep()
 		}
-		tr := &trace.Trace{ID: id, Type: rt.Name, Root: root.span}
+		tr := &trace.Trace{ID: id, Type: rt.Name, Root: span}
 		c.warehouse.Add(tr)
 		rtime := tr.ResponseTime()
-		c.e2eLog.AddFlagged(c.k.Now(), rtime, root.degraded)
-		c.TypeCompletions(rt.Name).AddFlagged(c.k.Now(), rtime, root.degraded)
+		c.e2eLog.AddFlagged(c.k.Now(), rtime, degraded)
+		c.TypeCompletions(rt.Name).AddFlagged(c.k.Now(), rtime, degraded)
 		for _, fn := range c.onComplete {
 			fn(tr)
 		}
 	})
+}
+
+// spanChunkSize is how many spans one arena slab holds. Spans are
+// trace-retention-scoped (a slab is collected once every trace whose
+// spans it backs is pruned), so the slab size trades allocation
+// amortization against worst-case retention of already-dead spans.
+const spanChunkSize = 256
+
+// newSpan carves one zeroed span from the arena.
+func (c *Cluster) newSpan() *trace.Span {
+	if len(c.spanChunk) == 0 {
+		c.spanChunk = make([]trace.Span, spanChunkSize)
+	}
+	s := &c.spanChunk[0]
+	c.spanChunk = c.spanChunk[1:]
+	return s
+}
+
+// newVisit hands out a recycled (or fresh) visit struct. The cluster
+// pointer and the two bound CPU-phase closures are created once per
+// struct and survive recycling; everything else is reset by freeVisit.
+func (c *Cluster) newVisit() *visit {
+	if n := len(c.visitFree); n > 0 {
+		v := c.visitFree[n-1]
+		c.visitFree[n-1] = nil
+		c.visitFree = c.visitFree[:n-1]
+		return v
+	}
+	v := &visit{c: c}
+	v.reqDoneFn = v.reqWorkDone
+	v.resDoneFn = v.resWorkDone
+	return v
+}
+
+// freeVisit recycles a visit struct once nothing references it anymore:
+// the consumer of its completion signal has read the outcome flags, or —
+// for the root — the submit callback has finished with it. Orphaned
+// visits (abandoned calls with no completion consumer) are never freed
+// explicitly and fall to the garbage collector.
+func (c *Cluster) freeVisit(v *visit) {
+	v.inst = nil
+	v.node = nil
+	v.span = nil
+	v.onDone = nil
+	v.childrenLeft = 0
+	v.seqNext = 0
+	v.outstanding = 0
+	v.backoffs = 0
+	v.brWaits = 0
+	v.waitMode = waitNone
+	v.waitSince = 0
+	v.cpuSince = 0
+	v.deadline = 0
+	v.epoch = 0
+	v.dropped = false
+	v.failed = false
+	v.degraded = false
+	c.visitFree = append(c.visitFree, v)
 }
 
 // Dropped returns the number of requests rejected by full admission

@@ -41,6 +41,12 @@ type visit struct {
 	dropped      bool     // rejected at this service's admission queue
 	failed       bool     // an essential descendant call was lost
 	degraded     bool     // an optional descendant call was degraded away
+
+	// reqDoneFn/resDoneFn are the CPU-phase completion callbacks, bound
+	// once when the struct is first allocated and reused across pool
+	// recycles, so submitting work to the PS server allocates no closure.
+	reqDoneFn func()
+	resDoneFn func()
 }
 
 // reWait maintains the visit's single off-CPU wait window. Blocked
@@ -75,27 +81,29 @@ func (v *visit) reWait() {
 }
 
 // startVisit routes a call-tree node to a pod of its service and begins
-// the visit lifecycle. The parent (if any) has already recorded the
+// the visit lifecycle. The parent span (if any) has already recorded the
 // dispatch; onDone fires when the response leaves this service. The
-// deadline is the caller's propagated deadline (0 = none); visits that
-// find every pod of the service down are refused immediately.
-func (c *Cluster) startVisit(node *CallNode, parent *visit, depth int, deadline sim.Time, onDone func(*visit)) *visit {
+// parent is identified by its span, not its visit: spans are
+// arena-allocated and stable for the trace's lifetime, while the parent
+// visit may already be recycled when a timed-out attempt's orphan call
+// finally reaches the wire. The deadline is the caller's propagated
+// deadline (0 = none); visits that find every pod of the service down
+// are refused immediately.
+func (c *Cluster) startVisit(node *CallNode, parent *trace.Span, depth int, deadline sim.Time, onDone func(*visit)) *visit {
 	svc := c.services[node.Service]
 	inst := svc.pick()
-	v := &visit{
-		c:    c,
-		inst: inst,
-		node: node,
-		span: &trace.Span{
-			Service: node.Service,
-			Depth:   depth,
-			Arrival: c.k.Now(),
-		},
-		deadline: deadline,
-		onDone:   onDone,
-	}
+	span := c.newSpan()
+	span.Service = node.Service
+	span.Depth = depth
+	span.Arrival = c.k.Now()
+	v := c.newVisit()
+	v.inst = inst
+	v.node = node
+	v.span = span
+	v.deadline = deadline
+	v.onDone = onDone
 	if parent != nil {
-		parent.span.Children = append(parent.span.Children, v.span)
+		parent.Children = append(parent.Children, v.span)
 	}
 	if inst == nil {
 		v.refuse()
@@ -116,7 +124,7 @@ func (v *visit) begin() {
 	demand := v.c.sampleDemand(v.node.ReqWork)
 	v.span.Demand += demand
 	v.cpuSince = now
-	v.inst.cpu.Submit(demand, v.reqWorkDone)
+	v.inst.cpu.Submit(demand, v.reqDoneFn)
 }
 
 // reqWorkDone closes the request-side CPU phase and moves to downstream
@@ -187,7 +195,7 @@ func (v *visit) sendDirect(child *CallNode, release func()) {
 	v.outstanding++
 	v.reWait()
 	v.c.withNetDelay(func() {
-		v.c.startVisit(child, v, v.span.Depth+1, v.deadline, func(cv *visit) {
+		v.c.startVisit(child, v.span, v.span.Depth+1, v.deadline, func(cv *visit) {
 			v.c.withNetDelay(func() {
 				release()
 				v.outstanding--
@@ -197,6 +205,9 @@ func (v *visit) sendDirect(child *CallNode, release func()) {
 				} else if cv.degraded {
 					v.degraded = true
 				}
+				// The child's outcome has been consumed; its span stays
+				// reachable through the trace tree, the struct recycles.
+				v.c.freeVisit(cv)
 				v.childAnswered()
 			})
 		})
@@ -284,17 +295,21 @@ func (cs *callState) send(isProbe bool, release func()) {
 		}
 		return
 	}
-	v.c.withEdgeDelay(cs.es, func() {
+	// Capture the parent span before the wire delay: if the attempt
+	// times out in flight, v may finish and be recycled before the
+	// closure runs, but the arena span stays valid for the trace.
+	c, pspan, depth := v.c, v.span, v.span.Depth+1
+	c.withEdgeDelay(cs.es, func() {
 		if at.settled {
 			// The caller already timed this attempt out while the
 			// request was on the wire; the callee still executes it as
 			// an orphan.
-			orphan := v.c.startVisit(cs.child, v, v.span.Depth+1, dl, nil)
+			orphan := c.startVisit(cs.child, pspan, depth, dl, nil)
 			orphan.span.Abandoned = true
 			return
 		}
-		cv := v.c.startVisit(cs.child, v, v.span.Depth+1, dl, func(cv *visit) {
-			v.c.withEdgeDelay(cs.es, func() { at.answered(cv) })
+		cv := c.startVisit(cs.child, pspan, depth, dl, func(cv *visit) {
+			c.withEdgeDelay(cs.es, func() { at.answered(cv) })
 		})
 		at.child = cv.span
 	})
@@ -317,19 +332,25 @@ func (at *attempt) settle() bool {
 	return true
 }
 
-// answered handles the child's response reaching the caller.
+// answered handles the child's response reaching the caller. The child
+// visit's flags are copied out and the struct recycled up front: in the
+// timed-out-earlier path the parent may itself have finished (and been
+// recycled) by the time the late response lands, so only the stable
+// Cluster pointer may be touched through at.cs.v there.
 func (at *attempt) answered(cv *visit) {
+	failed := cv.dropped || cv.failed
+	degraded := cv.degraded
+	at.cs.v.c.freeVisit(cv)
 	if !at.settle() {
 		return // timed out earlier; the late response is discarded
 	}
 	cs := at.cs
-	failed := cv.dropped || cv.failed
 	cs.es.breakerRecord(cs.v.c, at.isProbe, !failed)
 	if failed {
 		cs.afterFailure(false)
 		return
 	}
-	if cv.degraded {
+	if degraded {
 		cs.v.degraded = true
 	}
 	cs.succeed()
@@ -435,7 +456,7 @@ func (v *visit) responsePhase() {
 	demand := v.c.sampleDemand(v.node.ResWork)
 	v.span.Demand += demand
 	v.cpuSince = v.c.k.Now()
-	v.inst.cpu.Submit(demand, v.resWorkDone)
+	v.inst.cpu.Submit(demand, v.resDoneFn)
 }
 
 // resWorkDone closes the response-side CPU phase and completes the visit.

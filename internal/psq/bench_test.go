@@ -1,0 +1,138 @@
+package psq_test
+
+import (
+	"testing"
+	"time"
+
+	"sora/internal/psq"
+	"sora/internal/sim"
+)
+
+// BenchmarkSubmitComplete measures the submit→share→complete cycle with
+// a closed population of 8 jobs on 4 cores: every completion submits a
+// replacement, so the runnable heap, the completion timer and the rate
+// recomputation all churn at steady state. One op = one job served.
+func BenchmarkSubmitComplete(b *testing.B) {
+	k := sim.NewKernel(1)
+	s := psq.New(k, 4)
+	remaining := b.N
+	var next func()
+	next = func() {
+		if remaining == 0 {
+			return
+		}
+		remaining--
+		s.Submit(time.Microsecond, next)
+	}
+	for j := 0; j < 8; j++ {
+		next()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	k.Run()
+}
+
+// TestSubmitSteadyStateAllocFree pins the pooling guarantee: once the
+// job free list and the kernel timer pool are warm, a submit-and-run
+// cycle allocates nothing — the completion timer is re-keyed in place
+// and the Job struct is recycled.
+func TestSubmitSteadyStateAllocFree(t *testing.T) {
+	k := sim.NewKernel(1)
+	s := psq.New(k, 2)
+	nop := func() {}
+	for i := 0; i < 16; i++ {
+		s.Submit(time.Microsecond, nop)
+	}
+	k.Run()
+	if avg := testing.AllocsPerRun(1000, func() {
+		s.Submit(time.Microsecond, nop)
+		k.Run()
+	}); avg != 0 {
+		t.Fatalf("steady-state Submit+complete allocates %.2f objects per job, want 0", avg)
+	}
+}
+
+// TestCompletionMarginAbsoluteAtLargeAttained is the regression test for
+// the completion-margin fix. The old margin, 1e-9 * max(1, attained),
+// grew with cumulative attained service: after ~1e4 seconds of attained
+// work it reached ~10µs, so a completion event would batch-finish every
+// job within 10µs of demand of the lead job and forgive that much
+// unserved work. The margin is now an absolute 0.5 ns, so two jobs whose
+// demands differ by 10 ns must complete at two distinct instants with
+// the correct 10 ns spacing, no matter how much service the server has
+// already delivered.
+func TestCompletionMarginAbsoluteAtLargeAttained(t *testing.T) {
+	k := sim.NewKernel(1)
+	s := psq.New(k, 1, psq.WithOverhead(0))
+
+	// Inflate the attained-service counter: one job worth 1e4 core-seconds.
+	warm := false
+	s.Submit(10_000*time.Second, func() { warm = true })
+	k.Run()
+	if !warm {
+		t.Fatal("warm-up job did not complete")
+	}
+
+	// Two jobs sharing one core, demands 10ns apart. Under the inflated
+	// relative margin both finished in one batch at the first completion
+	// event; absolutely-margined they must finish 10ns apart.
+	var t1, t2 sim.Time
+	start := k.Now()
+	s.Submit(time.Microsecond, func() { t1 = k.Now() })
+	s.Submit(time.Microsecond+10*time.Nanosecond, func() { t2 = k.Now() })
+	k.Run()
+
+	if t1 == 0 || t2 == 0 {
+		t.Fatalf("jobs did not both complete (t1=%v t2=%v)", t1, t2)
+	}
+	if t1 == t2 {
+		t.Fatalf("jobs with distinct demands batch-completed at %v; margin is not absolute", t1)
+	}
+	// Shared core: the 1µs job takes 2µs of wall time; the second job
+	// then finishes its last 10ns alone at full speed. The ceil-to-ns
+	// reschedule may land each completion up to ~1ns late (float
+	// rounding of doneKey at attained ~1e4 is near the ns scale), so
+	// allow that slack — what must NOT happen is the 10ns gap
+	// collapsing or the first job finishing early.
+	if got, want := t1-start, 2*time.Microsecond; got < want || got > want+2*time.Nanosecond {
+		t.Errorf("first completion after %v, want %v (+<=2ns ceil slack)", got, want)
+	}
+	if got := t2 - t1; got < 8*time.Nanosecond || got > 12*time.Nanosecond {
+		t.Errorf("completions spaced %v apart, want ~10ns", got)
+	}
+}
+
+// TestZeroDemandCompletesOnStalledServer is the regression test for the
+// zero-demand fix: a job that needs no CPU must complete (via a
+// zero-delay event) even on a server with zero cores, where the service
+// rate never becomes positive and no rate-based completion timer can
+// ever be armed.
+func TestZeroDemandCompletesOnStalledServer(t *testing.T) {
+	k := sim.NewKernel(1)
+	s := psq.New(k, 0)
+	done := false
+	s.Submit(0, func() { done = true })
+	if done {
+		t.Fatal("zero-demand job completed synchronously inside Submit; must go through the event queue")
+	}
+	k.Run()
+	if !done {
+		t.Fatal("zero-demand job never completed on a zero-core server")
+	}
+	if k.Now() != 0 {
+		t.Fatalf("zero-demand completion advanced the clock to %v, want 0", k.Now())
+	}
+
+	// A job with real demand still stalls until cores arrive.
+	served := false
+	s.Submit(time.Millisecond, func() { served = true })
+	k.RunFor(time.Second)
+	if served {
+		t.Fatal("nonzero-demand job completed on a zero-core server")
+	}
+	s.SetCores(1)
+	k.RunFor(time.Second)
+	if !served {
+		t.Fatal("job did not complete after the server was scaled up")
+	}
+}

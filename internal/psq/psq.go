@@ -19,10 +19,19 @@
 // admitted when the counter reads A0 with demand D completes when
 // A(t) = A0 + D, so completions pop from a min-heap keyed by A0 + D in
 // O(log n), independent of how often the rate changes.
+//
+// Hot-path notes: the runnable set is an inlined 4-ary min-heap
+// specialized to *Job (no heap.Interface indirection), the server keeps
+// one completion timer that is re-keyed in place with sim.Timer.Reset on
+// every state change, and terminal Job structs are recycled through a
+// per-server free list — steady-state Submit/complete churn allocates
+// nothing. Consequently a *Job handle is only valid until the job reaches
+// a terminal state (done or aborted): once terminal, the server may hand
+// the struct to a future Submit, so callers that keep handles must not
+// touch them after completion.
 package psq
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"time"
@@ -58,7 +67,10 @@ func (s JobState) String() string {
 }
 
 // Job is a unit of CPU work tracked by a Server. Jobs are created by
-// Server.Submit and must not be shared across servers.
+// Server.Submit and must not be shared across servers. A handle is valid
+// until the job reaches a terminal state (done or aborted); after that the
+// server recycles the struct for future Submits, so terminal handles must
+// not be inspected once any later Submit has happened.
 type Job struct {
 	doneKey   float64 // attained-service value at which the job completes
 	remaining float64 // valid only while suspended
@@ -70,21 +82,20 @@ type Job struct {
 // State returns the job's current lifecycle state.
 func (j *Job) State() JobState { return j.state }
 
-type jobHeap []*Job
-
-func (h jobHeap) Len() int           { return len(h) }
-func (h jobHeap) Less(i, j int) bool { return h[i].doneKey < h[j].doneKey }
-func (h jobHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i]; h[i].index = i; h[j].index = j }
-func (h *jobHeap) Push(x any)        { j := x.(*Job); j.index = len(*h); *h = append(*h, j) }
-func (h *jobHeap) Pop() any {
-	old := *h
-	n := len(old)
-	j := old[n-1]
-	old[n-1] = nil
-	j.index = -1
-	*h = old[:n-1]
-	return j
-}
+// completionMargin is the absolute attained-service slack (seconds of
+// core work) within which a job counts as complete. reschedule ceils the
+// completion delay to whole nanoseconds, so when the timer fires the
+// attained counter has reached the lead job's doneKey up to
+// floating-point rounding of the rate integration; the margin only needs
+// to absorb that rounding. Half a nanosecond keeps it well below the 1 ns
+// demand quantum (time.Duration resolution), so two jobs with distinct
+// demands can never be batched into one completion, and no more than half
+// a nanosecond of demand can ever be forgiven — unlike the previous
+// relative margin (1e-9 * attained), which grew without bound on long
+// runs. A fire that lands a hair early (attained still below
+// doneKey - margin) pops nothing and re-arms; the ceil guarantees each
+// re-arm advances the clock by at least 1 ns, so progress is preserved.
+const completionMargin = 0.5e-9
 
 // Server is a processor-sharing CPU with a thread-efficiency curve.
 // Construct with New; the zero value is not usable.
@@ -99,8 +110,12 @@ type Server struct {
 	capacity float64 // cumulative core-seconds of configured capacity
 	last     sim.Time
 
-	runnable jobHeap
+	runnable []*Job // inlined 4-ary min-heap on doneKey
 	timer    *sim.Timer
+
+	free       []*Job // recycled terminal Job structs
+	doneFns    []func()
+	completeFn func() // bound once so arming the timer allocates nothing
 }
 
 // Option configures a Server.
@@ -135,6 +150,7 @@ func New(k *sim.Kernel, cores float64, opts ...Option) *Server {
 		cores = 0
 	}
 	s := &Server{k: k, cores: cores, alpha: DefaultOverhead, last: k.Now()}
+	s.completeFn = s.complete
 	for _, opt := range opts {
 		opt(s)
 	}
@@ -210,68 +226,105 @@ func (s *Server) advance() {
 	s.last = now
 }
 
-// reschedule recomputes the next completion event after any state change.
-// advance must have been called first.
-func (s *Server) reschedule() {
+// disarm cancels a pending completion timer, if any.
+func (s *Server) disarm() {
 	if s.timer != nil {
 		s.timer.Cancel()
 		s.timer = nil
 	}
+}
+
+// arm schedules (or re-keys in place) the completion timer. Reset gives
+// the timer a fresh sequence number, so ordering is identical to the
+// cancel-and-reschedule it replaces.
+func (s *Server) arm(dt time.Duration) {
+	if s.timer != nil {
+		s.timer.Reset(dt)
+		return
+	}
+	s.timer = s.k.Schedule(dt, s.completeFn)
+}
+
+// reschedule recomputes the next completion event after any state change.
+// advance must have been called first.
+func (s *Server) reschedule() {
 	if len(s.runnable) == 0 {
+		s.disarm()
+		return
+	}
+	remaining := s.runnable[0].doneKey - s.attained
+	if remaining <= 0 {
+		// Already attained (zero-demand submits, resumed jobs with no
+		// work left): complete via a zero-delay event regardless of the
+		// service rate, so a stalled (zero-core) server still finishes
+		// jobs that need no CPU at all.
+		s.arm(0)
 		return
 	}
 	r := s.perJobRate(len(s.runnable))
 	if r <= 0 {
+		s.disarm()
 		return // stalled (zero cores); re-armed on the next rate change
-	}
-	remaining := s.runnable[0].doneKey - s.attained
-	if remaining < 0 {
-		remaining = 0
 	}
 	// Ceil to whole nanoseconds so the timer never fires before the job has
 	// truly attained its demand; firing a hair late merely over-serves by
 	// sub-nanosecond work and guarantees forward progress.
-	dt := time.Duration(math.Ceil(remaining / r * float64(time.Second)))
-	s.timer = s.k.Schedule(dt, s.complete)
+	s.arm(time.Duration(math.Ceil(remaining / r * float64(time.Second))))
 }
 
-// complete pops every job whose demand has been attained.
+// complete pops every job whose demand has been attained (to within
+// completionMargin) and invokes their callbacks after rescheduling.
 func (s *Server) complete() {
+	// The fired timer struct is already back on the kernel free list;
+	// drop the handle before anything below can schedule and reuse it.
 	s.timer = nil
 	s.advance()
-	margin := 1e-9 * math.Max(1, math.Abs(s.attained))
-	var done []*Job
-	for len(s.runnable) > 0 && s.runnable[0].doneKey <= s.attained+margin {
-		j := heap.Pop(&s.runnable).(*Job)
+	fns := s.doneFns[:0]
+	s.doneFns = nil // reentrancy guard: a nested complete gets its own
+	for len(s.runnable) > 0 && s.runnable[0].doneKey <= s.attained+completionMargin {
+		j := s.jobPop()
 		j.state = StateDone
-		done = append(done, j)
+		if j.onDone != nil {
+			fns = append(fns, j.onDone)
+			j.onDone = nil
+		}
+		s.free = append(s.free, j)
 	}
 	s.reschedule()
-	for _, j := range done {
-		if j.onDone != nil {
-			fn := j.onDone
-			j.onDone = nil
-			fn()
-		}
+	for i, fn := range fns {
+		fns[i] = nil
+		fn()
+	}
+	if s.doneFns == nil {
+		s.doneFns = fns[:0]
 	}
 }
 
 // Submit admits a job with the given CPU demand (single-core execution
 // time) and invokes onDone when the demand has been served. A zero demand
 // completes at the current instant (via a zero-delay event, preserving
-// event ordering). Demand below zero is clamped to zero.
+// event ordering) even when the server has no cores. Demand below zero is
+// clamped to zero. The Job struct may be one recycled from an earlier
+// terminal job; see the handle-validity note on Job.
 func (s *Server) Submit(demand time.Duration, onDone func()) *Job {
 	if demand < 0 {
 		demand = 0
 	}
 	s.advance()
-	j := &Job{
-		doneKey: s.attained + demand.Seconds(),
-		onDone:  onDone,
-		state:   StateRunnable,
-		index:   -1,
+	var j *Job
+	if n := len(s.free); n > 0 {
+		j = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+	} else {
+		j = &Job{}
 	}
-	heap.Push(&s.runnable, j)
+	j.doneKey = s.attained + demand.Seconds()
+	j.remaining = 0
+	j.onDone = onDone
+	j.state = StateRunnable
+	j.index = -1
+	s.jobPush(j)
 	s.reschedule()
 	return j
 }
@@ -285,7 +338,7 @@ func (s *Server) Suspend(j *Job) {
 		panic(fmt.Sprintf("psq: Suspend on %v job", j.state))
 	}
 	s.advance()
-	heap.Remove(&s.runnable, j.index)
+	s.jobRemove(j.index)
 	j.remaining = j.doneKey - s.attained
 	if j.remaining < 0 {
 		j.remaining = 0
@@ -302,23 +355,26 @@ func (s *Server) Resume(j *Job) {
 	s.advance()
 	j.doneKey = s.attained + j.remaining
 	j.state = StateRunnable
-	heap.Push(&s.runnable, j)
+	s.jobPush(j)
 	s.reschedule()
 }
 
 // Abort cancels a job in any non-terminal state. Its onDone callback will
-// never run. Aborting a done or already-aborted job is a no-op.
+// never run. Aborting a done or already-aborted job is a no-op. The
+// struct is recycled; the handle is dead once Abort returns.
 func (s *Server) Abort(j *Job) {
 	switch j.state {
 	case StateRunnable:
 		s.advance()
-		heap.Remove(&s.runnable, j.index)
+		s.jobRemove(j.index)
 		j.state = StateAborted
 		j.onDone = nil
+		s.free = append(s.free, j)
 		s.reschedule()
 	case StateSuspended:
 		j.state = StateAborted
 		j.onDone = nil
+		s.free = append(s.free, j)
 	case StateDone, StateAborted:
 		// no-op
 	}
@@ -374,4 +430,97 @@ func (s *Server) Efficiency() float64 {
 		excess = 0
 	}
 	return 1 / (1 + s.alpha*excess)
+}
+
+// The runnable set: an inlined 4-ary min-heap over *Job ordered by
+// doneKey, mirroring the sim kernel's timer heap (children of slot i at
+// 4i+1..4i+4, parent at (i-1)/4). Each job's index field tracks its slot
+// so Suspend/Abort can detach in O(1).
+
+// jobPush adds j to the runnable heap.
+func (s *Server) jobPush(j *Job) {
+	s.runnable = append(s.runnable, j)
+	s.jobSiftUp(len(s.runnable) - 1)
+}
+
+// jobPop removes and returns the job with the smallest doneKey.
+func (s *Server) jobPop() *Job {
+	h := s.runnable
+	top := h[0]
+	top.index = -1
+	n := len(h) - 1
+	last := h[n]
+	h[n] = nil
+	s.runnable = h[:n]
+	if n > 0 {
+		h[0] = last
+		last.index = 0
+		s.jobSiftDown(0)
+	}
+	return top
+}
+
+// jobRemove detaches the job at slot i.
+func (s *Server) jobRemove(i int) {
+	h := s.runnable
+	h[i].index = -1
+	n := len(h) - 1
+	last := h[n]
+	h[n] = nil
+	s.runnable = h[:n]
+	if i < n {
+		h[i] = last
+		last.index = i
+		if !s.jobSiftDown(i) {
+			s.jobSiftUp(i)
+		}
+	}
+}
+
+func (s *Server) jobSiftUp(i int) {
+	h := s.runnable
+	j := h[i]
+	for i > 0 {
+		p := (i - 1) >> 2
+		if j.doneKey >= h[p].doneKey {
+			break
+		}
+		h[i] = h[p]
+		h[i].index = i
+		i = p
+	}
+	h[i] = j
+	j.index = i
+}
+
+func (s *Server) jobSiftDown(i int) bool {
+	h := s.runnable
+	n := len(h)
+	j := h[i]
+	start := i
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for q := c + 1; q < end; q++ {
+			if h[q].doneKey < h[m].doneKey {
+				m = q
+			}
+		}
+		if h[m].doneKey >= j.doneKey {
+			break
+		}
+		h[i] = h[m]
+		h[i].index = i
+		i = m
+	}
+	h[i] = j
+	j.index = i
+	return i != start
 }

@@ -1,0 +1,129 @@
+package sim_test
+
+import (
+	"testing"
+	"time"
+
+	"sora/internal/bench"
+	"sora/internal/sim"
+)
+
+// timerPair is one logical event scheduled on both kernels under test.
+type timerPair struct {
+	id int
+	st *sim.Timer
+	rt *bench.RefTimer
+}
+
+// TestHeapOrderMatchesContainerHeap drives the live 4-ary kernel and the
+// frozen container/heap reference (internal/bench.RefKernel) through an
+// identical randomized stream of insert/cancel/reset/step operations and
+// requires them to fire events in exactly the same order at exactly the
+// same virtual times. Reset has no pre-4-ary equivalent, so its oracle
+// is its documented definition: Cancel followed by a fresh Schedule
+// (both consume one sequence number, keeping the tie-break streams
+// aligned).
+//
+// Divergence is checked eagerly after every fired event, not just at the
+// end: the live kernel recycles fired timer structs, so if the
+// implementations ever disagreed about which event fires next, later
+// cancels through the bookkeeping here could act on recycled handles and
+// corrupt the comparison instead of failing it.
+func TestHeapOrderMatchesContainerHeap(t *testing.T) {
+	rng := sim.NewKernel(0xbead).Split(0x4a11)
+	k := sim.NewKernel(7)
+	ref := bench.NewRefKernel()
+
+	var live []timerPair
+	nextID := 0
+	var simFired, refFired []int
+
+	// schedule adds one logical event to both kernels with the same
+	// delay; callbacks record the firing into per-kernel logs.
+	schedule := func(d time.Duration) {
+		id := nextID
+		nextID++
+		p := timerPair{
+			id: id,
+			st: k.Schedule(d, func() { simFired = append(simFired, id) }),
+			rt: ref.Schedule(d, func() { refFired = append(refFired, id) }),
+		}
+		live = append(live, p)
+	}
+
+	// forget drops index i from the live set (order is irrelevant).
+	forget := func(i int) {
+		live[i] = live[len(live)-1]
+		live = live[:len(live)-1]
+	}
+
+	// stepBoth fires one event on each kernel and verifies they agree on
+	// which event that was and when it happened, then retires the pair.
+	stepBoth := func() {
+		okSim, okRef := k.Step(), ref.Step()
+		if okSim != okRef {
+			t.Fatalf("step availability diverged: sim=%v ref=%v", okSim, okRef)
+		}
+		if !okSim {
+			return
+		}
+		if len(simFired) != len(refFired) {
+			t.Fatalf("fired counts diverged: sim=%d ref=%d", len(simFired), len(refFired))
+		}
+		n := len(simFired)
+		if simFired[n-1] != refFired[n-1] {
+			t.Fatalf("event %d diverged: sim fired id %d, ref fired id %d",
+				n, simFired[n-1], refFired[n-1])
+		}
+		if k.Now() != ref.Now() {
+			t.Fatalf("clocks diverged after event %d: sim=%v ref=%v", n, k.Now(), ref.Now())
+		}
+		id := simFired[n-1]
+		for i := range live {
+			if live[i].id == id {
+				forget(i)
+				break
+			}
+		}
+	}
+
+	delay := func() time.Duration {
+		// Coarse quantization forces plenty of exact (at, seq) ties, the
+		// case the FIFO tie-break exists for.
+		return time.Duration(rng.IntN(64)) * 250 * time.Microsecond
+	}
+
+	const ops = 20000
+	for op := 0; op < ops; op++ {
+		switch x := rng.IntN(100); {
+		case x < 40 || len(live) == 0:
+			schedule(delay())
+		case x < 55:
+			// Cancel a random live pair on both kernels.
+			i := rng.IntN(len(live))
+			live[i].st.Cancel()
+			live[i].rt.Cancel()
+			forget(i)
+		case x < 70:
+			// Reset on the live kernel; Cancel+Schedule on the reference.
+			i := rng.IntN(len(live))
+			d := delay()
+			p := live[i]
+			p.st.Reset(d)
+			p.rt.Cancel()
+			live[i].rt = ref.Schedule(d, func() { refFired = append(refFired, p.id) })
+		default:
+			stepBoth()
+		}
+		if k.Pending() != ref.Pending() {
+			t.Fatalf("op %d: pending diverged: sim=%d ref=%d", op, k.Pending(), ref.Pending())
+		}
+	}
+	// Drain both queues completely.
+	for k.Pending() > 0 || ref.Pending() > 0 {
+		stepBoth()
+	}
+	if len(simFired) != len(refFired) {
+		t.Fatalf("total fired diverged: sim=%d ref=%d", len(simFired), len(refFired))
+	}
+}

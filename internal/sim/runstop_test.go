@@ -1,0 +1,63 @@
+package sim_test
+
+import (
+	"testing"
+	"time"
+
+	"sora/internal/sim"
+)
+
+// TestStopFreezesClockThenRunForResumesFromStopPoint pins the documented
+// Stop semantics: a Stop during RunUntil freezes the clock at the last
+// executed event (NOT the abandoned deadline), and a later Resume +
+// RunFor measures its window from that stop point, so the events parked
+// between the stop point and the old deadline still fire in order.
+func TestStopFreezesClockThenRunForResumesFromStopPoint(t *testing.T) {
+	k := sim.NewKernel(1)
+	var fired []time.Duration
+	for _, at := range []time.Duration{
+		10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond,
+	} {
+		at := at
+		k.At(at, func() { fired = append(fired, at) })
+	}
+	k.At(10*time.Millisecond, k.Stop)
+
+	k.RunUntil(50 * time.Millisecond)
+	if !k.Stopped() {
+		t.Fatal("kernel should be stopped")
+	}
+	if got := k.Now(); got != 10*time.Millisecond {
+		t.Fatalf("clock after mid-run Stop = %v, want frozen at 10ms (not advanced to the 50ms deadline)", got)
+	}
+	if len(fired) != 1 || fired[0] != 10*time.Millisecond {
+		t.Fatalf("fired before stop = %v, want exactly the 10ms event", fired)
+	}
+
+	// RunFor while stopped is a no-op: the clock must not drift.
+	k.RunFor(30 * time.Millisecond)
+	if got := k.Now(); got != 10*time.Millisecond {
+		t.Fatalf("clock after RunFor on stopped kernel = %v, want 10ms", got)
+	}
+
+	// Resume + RunFor measures from the stop point: 10ms + 15ms covers
+	// the 20ms event but not the 40ms one.
+	k.Resume()
+	k.RunFor(15 * time.Millisecond)
+	if got := k.Now(); got != 25*time.Millisecond {
+		t.Fatalf("clock after Resume+RunFor(15ms) = %v, want 25ms", got)
+	}
+	if len(fired) != 2 || fired[1] != 20*time.Millisecond {
+		t.Fatalf("fired after resume = %v, want the 20ms event next", fired)
+	}
+
+	// Finishing the original window still works by re-running to the
+	// same absolute deadline.
+	k.RunUntil(50 * time.Millisecond)
+	if got := k.Now(); got != 50*time.Millisecond {
+		t.Fatalf("clock after final RunUntil = %v, want 50ms", got)
+	}
+	if len(fired) != 3 || fired[2] != 40*time.Millisecond {
+		t.Fatalf("fired after final RunUntil = %v, want all three events", fired)
+	}
+}

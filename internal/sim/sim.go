@@ -1,7 +1,7 @@
 // Package sim provides the discrete-event simulation kernel that drives the
 // entire Sora reproduction: a virtual clock, an event queue with
-// deterministic FIFO tie-breaking, cancellable timers, periodic tickers and
-// a seeded random number generator.
+// deterministic FIFO tie-breaking, cancellable and resettable timers,
+// periodic tickers and a seeded random number generator.
 //
 // All simulated components (cluster instances, workload generators,
 // controllers, samplers) schedule callbacks on a single Kernel. Events fire
@@ -16,6 +16,29 @@
 // goroutine, nothing shared) scale across cores embarrassingly; see the
 // experiment package's runner.
 //
+// # Hot-path design
+//
+// The event queue is an inlined 4-ary min-heap specialized to *Timer and
+// keyed on (at, seq) — no heap.Interface indirection, no interface
+// conversions, and half the tree depth of a binary heap, which matters
+// because sift costs are dominated by pointer-chasing comparisons. Fired
+// and cancelled Timer structs go on a per-kernel free list and are handed
+// out again by Schedule/At, so steady-state event churn allocates nothing.
+// Timer.Reset re-keys a pending timer in place (one sift, no queue
+// round-trip), which is what lets the PS-server model reschedule its
+// single completion timer on every state change without allocating.
+//
+// Timer recycling narrows the Timer handle contract: a handle is live from
+// Schedule/At until its callback starts or Cancel returns, and must not be
+// used after that — the kernel may already have reissued the struct to an
+// unrelated Schedule call. Components that keep a timer field (tickers,
+// PS servers, attempt timeouts) therefore nil the field out at the top of
+// the callback, before any code that could schedule. Cancel and Reset on
+// a handle whose timer already fired or was cancelled are detected (the
+// timer is no longer queued) and are a no-op / panic respectively, unless
+// the struct has since been reissued — the hazard the ownership rule
+// exists to prevent.
+//
 // History note: Split originally drew its child seed from the parent RNG
 // stream, so the *order* of Split calls perturbed both the parent stream
 // and every later split. Split streams are now derived purely from the
@@ -26,7 +49,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand/v2"
 	"time"
@@ -38,69 +60,71 @@ import (
 type Time = time.Duration
 
 // Timer is a handle for a scheduled event. A Timer can be cancelled before
-// it fires; cancelling a fired or already-cancelled timer is a no-op.
+// it fires, or re-armed in place with Reset.
+//
+// Ownership: the handle is valid from Schedule/At until the callback
+// starts executing or Cancel returns. After either, the kernel recycles
+// the struct for future Schedule calls; holding and using a stale handle
+// can act on an unrelated timer. Code that stores a timer in a field must
+// clear the field at the top of the callback (before anything that might
+// schedule) and after Cancel.
 type Timer struct {
 	at       Time
 	seq      uint64
 	fn       func()
 	k        *Kernel
-	index    int // position in the heap, -1 once removed
+	index    int // position in the heap, -1 once fired/cancelled
 	canceled bool
 }
 
 // Cancel prevents the timer's callback from running and removes the timer
 // from the event queue immediately, so far-future timers that are almost
 // always cancelled (timeouts, deadlines) do not accumulate in the heap.
-// It is safe to call multiple times and after the timer has fired.
+// The struct is recycled; the handle is dead once Cancel returns.
+// Cancelling a nil, fired or already-cancelled timer is a no-op (provided
+// the struct has not been reissued; see the ownership rule in the type
+// comment).
 func (t *Timer) Cancel() {
-	if t == nil {
+	if t == nil || t.index < 0 {
 		return
 	}
 	t.canceled = true
 	t.fn = nil
-	if t.index >= 0 && t.k != nil {
-		heap.Remove(&t.k.events, t.index)
-	}
+	k := t.k
+	k.heapRemove(t.index)
+	k.releaseTimer(t)
 }
 
-// Canceled reports whether Cancel was called on the timer.
+// Canceled reports whether Cancel removed this timer before it fired.
+// Only meaningful while the handle is live or before the struct is
+// reissued.
 func (t *Timer) Canceled() bool { return t.canceled }
 
 // When returns the virtual time the timer is (or was) scheduled to fire at.
 func (t *Timer) When() Time { return t.at }
 
-// eventHeap is a min-heap ordered by (at, seq).
-type eventHeap []*Timer
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// Reset re-arms a pending timer to fire delay units of virtual time from
+// now, keeping its callback. Ordering is exactly that of Cancel followed
+// by Schedule: the timer receives a fresh sequence number, so it fires
+// after events already queued for the same instant. Unlike
+// Cancel+Schedule it performs a single in-place sift and touches no free
+// list. A negative delay is treated as zero.
+//
+// Reset panics on a fired or cancelled timer: once the callback has run
+// or Cancel returned, the kernel may have recycled the struct, and
+// re-arming it would hijack an unrelated event.
+func (t *Timer) Reset(delay time.Duration) {
+	if t == nil || t.index < 0 {
+		panic("sim: Reset on a fired or cancelled timer")
 	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h *eventHeap) Push(x any) {
-	t := x.(*Timer)
-	t.index = len(*h)
-	*h = append(*h, t)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	t := old[n-1]
-	old[n-1] = nil
-	t.index = -1
-	*h = old[:n-1]
-	return t
+	if delay < 0 {
+		delay = 0
+	}
+	k := t.k
+	k.seq++
+	t.at = k.now + delay
+	t.seq = k.seq
+	k.heapFix(t.index)
 }
 
 // Kernel is the discrete-event simulation core. The zero value is not
@@ -109,7 +133,8 @@ type Kernel struct {
 	now       Time
 	seq       uint64
 	seed      uint64
-	events    eventHeap
+	events    []*Timer // inlined 4-ary min-heap on (at, seq)
+	free      []*Timer // recycled Timer structs
 	rng       *rand.Rand
 	processed uint64
 	stopped   bool
@@ -171,7 +196,9 @@ func (k *Kernel) Schedule(delay time.Duration, fn func()) *Timer {
 // At runs fn at absolute virtual time t. Scheduling in the past is an
 // error in simulation logic; the kernel clamps it to "now" to keep time
 // monotonic rather than panicking, since the only way it can occur is a
-// rounding artefact in duration arithmetic.
+// rounding artefact in duration arithmetic. The Timer is drawn from the
+// kernel's free list when one is available, so steady-state scheduling
+// does not allocate.
 func (k *Kernel) At(t Time, fn func()) *Timer {
 	if fn == nil {
 		panic("sim: At called with nil callback")
@@ -180,28 +207,45 @@ func (k *Kernel) At(t Time, fn func()) *Timer {
 		t = k.now
 	}
 	k.seq++
-	tm := &Timer{at: t, seq: k.seq, fn: fn, k: k}
-	heap.Push(&k.events, tm)
+	var tm *Timer
+	if n := len(k.free); n > 0 {
+		tm = k.free[n-1]
+		k.free[n-1] = nil
+		k.free = k.free[:n-1]
+		tm.at = t
+		tm.seq = k.seq
+		tm.fn = fn
+		tm.canceled = false
+	} else {
+		tm = &Timer{at: t, seq: k.seq, fn: fn, k: k}
+	}
+	k.heapPush(tm)
 	return tm
+}
+
+// releaseTimer returns a fired or cancelled timer struct to the free list.
+// The caller must already have detached it from the heap.
+func (k *Kernel) releaseTimer(t *Timer) {
+	t.fn = nil
+	k.free = append(k.free, t)
 }
 
 // Step executes the next pending event, advancing virtual time to its
 // timestamp. It reports whether an event was executed (false when the queue
-// is empty or the kernel has been stopped).
+// is empty or the kernel has been stopped). The fired timer struct is
+// recycled before the callback runs, so a Schedule inside the callback
+// reuses it immediately.
 func (k *Kernel) Step() bool {
-	for len(k.events) > 0 && !k.stopped {
-		tm := heap.Pop(&k.events).(*Timer)
-		if tm.canceled {
-			continue
-		}
-		k.now = tm.at
-		fn := tm.fn
-		tm.fn = nil
-		k.processed++
-		fn()
-		return true
+	if k.stopped || len(k.events) == 0 {
+		return false
 	}
-	return false
+	tm := k.heapPop()
+	k.now = tm.at
+	fn := tm.fn
+	k.releaseTimer(tm)
+	k.processed++
+	fn()
+	return true
 }
 
 // Run executes events until the queue is empty or Stop is called.
@@ -213,15 +257,18 @@ func (k *Kernel) Run() {
 // RunUntil executes events with timestamps <= deadline and then advances
 // the clock to exactly deadline. Events scheduled for after deadline remain
 // queued.
+//
+// If Stop fires mid-run (or the kernel was already stopped), RunUntil
+// returns with the clock frozen at the timestamp of the last executed
+// event — it is NOT advanced to deadline. This is deliberate: events in
+// (now, deadline] are still queued, and advancing past them would make
+// the clock run backwards when they eventually fire after Resume. A
+// subsequent Resume + RunFor(d) therefore measures d from the stop
+// point, not from the abandoned deadline; callers that want to finish
+// the original window must Resume and call RunUntil with the same
+// absolute deadline again.
 func (k *Kernel) RunUntil(deadline Time) {
-	for len(k.events) > 0 && !k.stopped {
-		next := k.peek()
-		if next == nil {
-			break
-		}
-		if next.at > deadline {
-			break
-		}
+	for !k.stopped && len(k.events) > 0 && k.events[0].at <= deadline {
 		k.Step()
 	}
 	if !k.stopped && k.now < deadline {
@@ -229,29 +276,128 @@ func (k *Kernel) RunUntil(deadline Time) {
 	}
 }
 
-// RunFor advances the simulation by d units of virtual time.
+// RunFor advances the simulation by d units of virtual time, measured
+// from the current clock — after a mid-run Stop, that is the stop point
+// (see RunUntil for the stop semantics).
 func (k *Kernel) RunFor(d time.Duration) { k.RunUntil(k.now + d) }
 
-// Stop halts Run/RunUntil after the currently executing event returns.
-// Subsequent Step calls return false until the kernel is resumed with
-// Resume.
+// Stop halts Run/RunUntil after the currently executing event returns,
+// freezing the clock at that event's timestamp. Subsequent Step calls
+// return false until the kernel is resumed with Resume.
 func (k *Kernel) Stop() { k.stopped = true }
 
 // Resume clears a previous Stop.
 func (k *Kernel) Resume() { k.stopped = false }
 
-// peek returns the earliest pending timer without removing it. Cancelled
-// timers are removed from the heap eagerly by Cancel, so the top of the
-// heap is always live (the drain loop is defensive).
-func (k *Kernel) peek() *Timer {
-	for len(k.events) > 0 {
-		top := k.events[0]
-		if !top.canceled {
-			return top
-		}
-		heap.Pop(&k.events)
+// Stopped reports whether the kernel is currently stopped.
+func (k *Kernel) Stopped() bool { return k.stopped }
+
+// The event queue: an inlined 4-ary min-heap over *Timer ordered by
+// (at, seq). Children of slot i live at 4i+1..4i+4; the parent of slot i
+// is (i-1)/4. Every slot's timer keeps its index field current so Cancel
+// and Reset can locate it in O(1).
+
+// timerLess orders timers by firing time, FIFO within the same instant.
+func timerLess(a, b *Timer) bool {
+	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
+}
+
+// heapPush appends t and sifts it up to its position.
+func (k *Kernel) heapPush(t *Timer) {
+	k.events = append(k.events, t)
+	k.siftUp(len(k.events) - 1)
+}
+
+// heapPop removes and returns the minimum timer, marking it detached.
+func (k *Kernel) heapPop() *Timer {
+	h := k.events
+	top := h[0]
+	top.index = -1
+	n := len(h) - 1
+	last := h[n]
+	h[n] = nil
+	k.events = h[:n]
+	if n > 0 {
+		h[0] = last
+		last.index = 0
+		k.siftDown(0)
 	}
-	return nil
+	return top
+}
+
+// heapRemove detaches the timer at slot i, filling the hole with the last
+// element and re-sifting it.
+func (k *Kernel) heapRemove(i int) {
+	h := k.events
+	h[i].index = -1
+	n := len(h) - 1
+	last := h[n]
+	h[n] = nil
+	k.events = h[:n]
+	if i < n {
+		h[i] = last
+		last.index = i
+		k.heapFix(i)
+	}
+}
+
+// heapFix restores heap order for slot i after its key changed in place.
+func (k *Kernel) heapFix(i int) {
+	if !k.siftDown(i) {
+		k.siftUp(i)
+	}
+}
+
+// siftUp moves the timer at slot i toward the root until its parent is
+// not greater.
+func (k *Kernel) siftUp(i int) {
+	h := k.events
+	t := h[i]
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !timerLess(t, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		h[i].index = i
+		i = p
+	}
+	h[i] = t
+	t.index = i
+}
+
+// siftDown moves the timer at slot i toward the leaves until no child is
+// smaller, reporting whether it moved.
+func (k *Kernel) siftDown(i int) bool {
+	h := k.events
+	n := len(h)
+	t := h[i]
+	start := i
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if timerLess(h[j], h[m]) {
+				m = j
+			}
+		}
+		if !timerLess(h[m], t) {
+			break
+		}
+		h[i] = h[m]
+		h[i].index = i
+		i = m
+	}
+	h[i] = t
+	t.index = i
+	return i != start
 }
 
 // Ticker fires a callback at a fixed virtual-time interval until stopped.
@@ -259,6 +405,7 @@ type Ticker struct {
 	k        *Kernel
 	interval time.Duration
 	fn       func()
+	fireFn   func() // bound once so re-arming allocates nothing
 	timer    *Timer
 	stopped  bool
 }
@@ -274,20 +421,27 @@ func (k *Kernel) Every(interval time.Duration, fn func()) *Ticker {
 		panic("sim: Every called with nil callback")
 	}
 	t := &Ticker{k: k, interval: interval, fn: fn}
+	t.fireFn = t.fire
 	t.arm()
 	return t
 }
 
 func (t *Ticker) arm() {
-	t.timer = t.k.Schedule(t.interval, func() {
-		if t.stopped {
-			return
-		}
-		t.fn()
-		if !t.stopped {
-			t.arm()
-		}
-	})
+	t.timer = t.k.Schedule(t.interval, t.fireFn)
+}
+
+// fire runs one tick. The timer field is cleared before the user callback
+// runs: the fired timer struct is already back on the kernel's free list,
+// and anything the callback schedules may legitimately reuse it.
+func (t *Ticker) fire() {
+	t.timer = nil
+	if t.stopped {
+		return
+	}
+	t.fn()
+	if !t.stopped {
+		t.arm()
+	}
 }
 
 // Stop prevents any further firings. Safe to call multiple times and from
@@ -296,5 +450,6 @@ func (t *Ticker) Stop() {
 	t.stopped = true
 	if t.timer != nil {
 		t.timer.Cancel()
+		t.timer = nil
 	}
 }

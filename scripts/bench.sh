@@ -1,0 +1,26 @@
+#!/bin/sh
+# bench.sh — record the kernel hot-path micro-benchmark suite into
+# BENCH_kernel.json (see EXPERIMENTS.md § Kernel benchmarks).
+#
+# Usage:
+#   scripts/bench.sh                 # refresh the "current" entry
+#   scripts/bench.sh pr7-foo "note"  # record a named history entry
+#
+# The suite (internal/bench, wired as `sorabench -bench-json`) measures
+# the event-loop schedule/pop cycle on the live 4-ary kernel and on the
+# frozen container/heap reference, timer reset/cancel churn, PS-server
+# submit churn, and an end-to-end Social Network request, reporting
+# ns/op, B/op, allocs/op and events/s. Entries are keyed by label:
+# re-running with the same label refreshes that entry in place and
+# leaves the rest of the history untouched, so the file accumulates the
+# performance trajectory across PRs.
+#
+# Run on an idle machine; numbers from loaded or thermally-throttled
+# hosts are not comparable.
+set -eu
+cd "$(dirname "$0")/.."
+
+LABEL="${1:-current}"
+NOTE="${2:-}"
+
+go run ./cmd/sorabench -bench-json BENCH_kernel.json -bench-label "$LABEL" -bench-note "$NOTE"

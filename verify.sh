@@ -41,4 +41,9 @@ go test ./...
 echo "== go test -race (concurrent packages)"
 go test -race -short ./internal/experiment ./internal/sim ./internal/telemetry ./internal/profile ./internal/cluster ./internal/trace ./internal/fault
 
+echo "== bench smoke (compile + one quick iteration, not timing-gated)"
+BENCH_TMP="$(mktemp)"
+go run ./cmd/sorabench -bench-json "$BENCH_TMP" -bench-quick
+rm -f "$BENCH_TMP"
+
 echo "verify: OK"
