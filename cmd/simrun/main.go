@@ -55,6 +55,9 @@ func run() error {
 
 		thresholds = flag.String("thresholds", "50ms,100ms,250ms,400ms", "comma-separated goodput thresholds")
 		telDir     = flag.String("telemetry-dir", "", "directory for telemetry artifacts (optional)")
+		tlFile     = flag.String("timeline", "", "write the flight-recorder timeline (JSONL) to FILE — soradash input")
+		tlWindow   = flag.Duration("timeline-window", time.Second, "flight-recorder window length")
+		tlSLA      = flag.Duration("timeline-sla", 400*time.Millisecond, "SLA splitting timeline completions into good/degraded/violated")
 		archive    = flag.String("trace-archive", "", "write completed traces as a JSONL archive (tracedig input)")
 		profFlag   = flag.Bool("profile", false, "print the latency-attribution blame table after the run")
 		slo        = flag.Duration("slo", 0, "SLO for the -profile violation breakdown (0 = disabled)")
@@ -99,7 +102,7 @@ func run() error {
 
 	k := sim.NewKernel(*seed)
 	var rec *telemetry.Recorder
-	if *telDir != "" {
+	if *telDir != "" || *tlFile != "" {
 		rec = telemetry.NewRecorder("simrun")
 	}
 	c, err := cluster.New(k, app, cluster.Options{Telemetry: rec})
@@ -108,6 +111,13 @@ func run() error {
 	}
 	if err := c.SetMix(mix); err != nil {
 		return err
+	}
+	var flight *cluster.FlightRecorder
+	if *tlFile != "" {
+		flight, err = c.ArmFlightRecorder(*tlWindow, *tlSLA)
+		if err != nil {
+			return err
+		}
 	}
 	var e2e metrics.CompletionLog
 	c.OnComplete(func(tr *trace.Trace) { e2e.AddFlagged(k.Now(), tr.ResponseTime(), tr.Root.Degraded) })
@@ -188,12 +198,26 @@ func run() error {
 	start := time.Now() //soravet:allow wallclock CLI reports real elapsed wall time alongside virtual-time results
 	k.RunUntil(sim.Time(*duration))
 	loop.Stop()
+	flight.Stop() // the window ticker must stop before the drain
 	k.Run()
 	c.FlushTelemetry()
 	agg.FlushTelemetry(rec)
-	if rec != nil {
+	if *telDir != "" {
 		if err := rec.WriteFiles(*telDir, "simrun"); err != nil {
 			return fmt.Errorf("telemetry: %w", err)
+		}
+	}
+	if *tlFile != "" {
+		f, err := os.Create(*tlFile)
+		if err != nil {
+			return err
+		}
+		if err := rec.WriteTimeline(f); err != nil {
+			f.Close()
+			return fmt.Errorf("timeline: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return err
 		}
 	}
 	if *archive != "" {

@@ -35,6 +35,13 @@
 // tables; -slo adds the violation breakdown) and <id>.folded
 // (flamegraph.pl / tracedig input) into DIR. Artifacts are
 // byte-identical between serial and parallel runs of the same seed.
+//
+// -timeline DIR arms a flight recorder on every cluster the experiments
+// build and writes <id>.timeline.jsonl into DIR: per-service latency
+// sketch quantiles, rates and pool state once per window
+// (-timeline-window, default 1s), interleaved with controller decisions
+// and fault markers. Feed the directory to soradash for an offline HTML
+// dashboard. Timelines are byte-identical at any -parallel setting.
 package main
 
 import (
@@ -72,6 +79,8 @@ func run() error {
 		parallel = flag.Int("parallel", 0, "worker pool size for independent simulations (0 = GOMAXPROCS)")
 		serial   = flag.Bool("serial", false, "force serial execution (same as -parallel 1)")
 		telDir   = flag.String("telemetry-dir", "", "directory for per-experiment telemetry artifacts (optional)")
+		tlDir    = flag.String("timeline", "", "directory for per-experiment flight-recorder timelines (<id>.timeline.jsonl — soradash input)")
+		tlWindow = flag.Duration("timeline-window", time.Second, "flight-recorder window length for -timeline")
 		slo      = flag.Duration("slo", 0, "SLO for the profile artifacts' violation breakdown (0 = disabled)")
 		chaos    = flag.String("chaos", "", "run the chaos comparison under the named fault plan (see internal/fault.Names)")
 
@@ -107,6 +116,9 @@ func run() error {
 		DurationScale: *scale,
 		Quiet:         *quiet,
 		Parallelism:   workers,
+	}
+	if *tlDir != "" {
+		params.Timeline = *tlWindow
 	}
 
 	var selected []experiment.Experiment
@@ -148,7 +160,7 @@ func run() error {
 	var opts []experiment.RunOption
 	var recs []*telemetry.Recorder
 	var profs []*profile.Aggregator
-	if *telDir != "" {
+	if *telDir != "" || *tlDir != "" {
 		recs = make([]*telemetry.Recorder, len(selected))
 		profs = make([]*profile.Aggregator, len(selected))
 		for i, e := range selected {
@@ -189,16 +201,26 @@ func run() error {
 		// The profile's phase histograms ride along in the Prometheus
 		// snapshot, so flush before the files are rendered.
 		profs[i].FlushTelemetry(rec)
-		if err := rec.WriteFiles(*telDir, selected[i].ID); err != nil {
-			fmt.Fprintf(os.Stderr, "sorabench: telemetry for %s: %v\n", selected[i].ID, err)
-			if firstErr == nil {
-				firstErr = err
+		if *telDir != "" {
+			if err := rec.WriteFiles(*telDir, selected[i].ID); err != nil {
+				fmt.Fprintf(os.Stderr, "sorabench: telemetry for %s: %v\n", selected[i].ID, err)
+				if firstErr == nil {
+					firstErr = err
+				}
+			}
+			if err := writeProfile(*telDir, selected[i].ID, profs[i].Snapshot()); err != nil {
+				fmt.Fprintf(os.Stderr, "sorabench: profile for %s: %v\n", selected[i].ID, err)
+				if firstErr == nil {
+					firstErr = err
+				}
 			}
 		}
-		if err := writeProfile(*telDir, selected[i].ID, profs[i].Snapshot()); err != nil {
-			fmt.Fprintf(os.Stderr, "sorabench: profile for %s: %v\n", selected[i].ID, err)
-			if firstErr == nil {
-				firstErr = err
+		if *tlDir != "" {
+			if err := writeTimeline(*tlDir, selected[i].ID, rec); err != nil {
+				fmt.Fprintf(os.Stderr, "sorabench: timeline for %s: %v\n", selected[i].ID, err)
+				if firstErr == nil {
+					firstErr = err
+				}
 			}
 		}
 	}
@@ -262,6 +284,23 @@ func runBenchSuite(path, label, note string, quick bool) error {
 	}
 	fmt.Printf("recorded entry %q in %s (%d entries)\n", label, path, len(report.Entries))
 	return nil
+}
+
+// writeTimeline renders one experiment's flight-recorder timeline into
+// <id>.timeline.jsonl — the soradash input format.
+func writeTimeline(dir, id string, rec *telemetry.Recorder) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, id+".timeline.jsonl"))
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteTimeline(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeProfile renders one experiment's latency attribution into

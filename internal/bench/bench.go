@@ -7,6 +7,8 @@ import (
 	"sora/internal/cluster"
 	"sora/internal/psq"
 	"sora/internal/sim"
+	"sora/internal/stats"
+	"sora/internal/telemetry"
 	"sora/internal/topology"
 )
 
@@ -60,6 +62,8 @@ func Run() []Result {
 		result("kernel/cancel", testing.Benchmark(BenchmarkScheduleCancel)),
 		result("psq/submit", testing.Benchmark(BenchmarkPSQSubmit)),
 		result("cluster/socialnetwork", testing.Benchmark(BenchmarkSocialNetworkRequest)),
+		result("stats/sketch/observe", testing.Benchmark(BenchmarkSketchObserve)),
+		result("cluster/request/flight", testing.Benchmark(BenchmarkRequestWithFlightRecorder)),
 	}
 }
 
@@ -200,6 +204,58 @@ func BenchmarkPSQSubmit(b *testing.B) {
 	b.ResetTimer()
 	k.Run()
 	b.StopTimer()
+	if b.N > 0 {
+		b.ReportMetric(float64(k.Processed())/float64(b.N), "events/op")
+	}
+}
+
+// sketchValues is the deterministic observation pattern of the sketch
+// benchmark: latencies spanning the sub-millisecond to multi-second
+// range, so inserts hit buckets across the key space. Indexed with i&7.
+var sketchValues = [8]float64{
+	0.4, 12.75, 380.0, 3.2, 1900.5, 47.0, 0.9, 220.3,
+}
+
+// BenchmarkSketchObserve measures the flight recorder's hot-path cost:
+// one quantile-sketch insert (log, ceil, bucket increment — no
+// allocation). One op = one Observe.
+func BenchmarkSketchObserve(b *testing.B) {
+	s := stats.NewSketch(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Observe(sketchValues[i&7])
+	}
+}
+
+// BenchmarkRequestWithFlightRecorder is BenchmarkSocialNetworkRequest
+// with an armed flight recorder: the delta against the plain run is the
+// recorder's total per-request overhead (arrival/completion hooks, e2e
+// classification, sketch inserts), and the allocs/op figure proves the
+// hooks stay allocation-free (the window is an hour, so no flush tick
+// fires mid-measurement).
+func BenchmarkRequestWithFlightRecorder(b *testing.B) {
+	k := sim.NewKernel(1)
+	rec := telemetry.NewRecorder("bench")
+	c, err := cluster.New(k, topology.SocialNetwork(topology.SocialNetworkConfig{}), cluster.Options{Telemetry: rec})
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := c.ArmFlightRecorder(time.Hour, 100*time.Millisecond)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// The armed window ticker keeps the queue non-empty: advance in
+	// bounded steps instead of draining with Run.
+	step := sim.Time(time.Second)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.SubmitMix()
+		k.RunUntil(k.Now() + step)
+	}
+	b.StopTimer()
+	f.Stop()
 	if b.N > 0 {
 		b.ReportMetric(float64(k.Processed())/float64(b.N), "events/op")
 	}

@@ -280,6 +280,11 @@ type Cluster struct {
 	tel       *telemetry.Recorder
 	dropWins  map[string]*dropWindow
 	retryWins map[edgeKey]*retryWindow
+
+	// flight, when armed, samples windowed time-series rows onto the
+	// telemetry recorder (see flight.go). Nil costs one pointer test on
+	// the e2e completion path.
+	flight *FlightRecorder
 }
 
 // New deploys app onto a fresh simulated cluster driven by kernel k.
@@ -482,6 +487,9 @@ func (c *Cluster) SubmitWith(rt *RequestType, onDone func()) {
 		tr := &trace.Trace{ID: id, Type: rt.Name, Root: span}
 		c.warehouse.Add(tr)
 		rtime := tr.ResponseTime()
+		if c.flight != nil {
+			c.flight.noteE2E(rtime, degraded)
+		}
 		c.e2eLog.AddFlagged(c.k.Now(), rtime, degraded)
 		c.TypeCompletions(rt.Name).AddFlagged(c.k.Now(), rtime, degraded)
 		for _, fn := range c.onComplete {

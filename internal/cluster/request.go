@@ -91,6 +91,9 @@ func (v *visit) reWait() {
 // are refused immediately.
 func (c *Cluster) startVisit(node *CallNode, parent *trace.Span, depth int, deadline sim.Time, onDone func(*visit)) *visit {
 	svc := c.services[node.Service]
+	if svc.flight != nil {
+		svc.flight.arrivals++
+	}
 	inst := svc.pick()
 	span := c.newSpan()
 	span.Service = node.Service
@@ -481,6 +484,10 @@ func (v *visit) finish() {
 		v.span.Degraded = true
 	}
 	v.inst.svc.spanLog.AddFlagged(now, v.span.Duration(), v.span.Degraded)
+	if t := v.inst.svc.flight; t != nil {
+		t.completions++
+		t.sketch.Observe(float64(v.span.Duration()) / float64(time.Millisecond))
+	}
 	v.inst.visitDone()
 	if v.onDone != nil {
 		fn := v.onDone

@@ -21,6 +21,11 @@ type Service struct {
 	// spanLog records every service-visit completion (span departure,
 	// span duration) — the per-service MongoDB store of the paper.
 	spanLog *metrics.CompletionLog
+
+	// flight, when the cluster's flight recorder is armed, accumulates
+	// this service's window counters and latency sketch (see flight.go).
+	// Nil costs one pointer test per arrival/completion/drop.
+	flight *flightTrack
 }
 
 func newService(c *Cluster, spec ServiceSpec) *Service {
@@ -356,6 +361,9 @@ func (in *Instance) enqueue(v *visit) {
 	if in.queueCap > 0 && len(in.queue) >= in.queueCap {
 		in.meta.dropped++
 		in.svc.c.dropped++
+		if in.svc.flight != nil {
+			in.svc.flight.drops++
+		}
 		in.svc.c.noteDrop(in.svc.name)
 		v.drop()
 		return

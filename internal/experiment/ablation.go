@@ -127,12 +127,13 @@ func runAblationDeadline(p Params, w io.Writer) error {
 
 	dur := p.scale(3 * time.Minute)
 	r, err := newRig(rigConfig{
-		seed:   p.Seed,
-		app:    buildChain(60),
-		refs:   []cluster.ResourceRef{ref},
-		target: workload.TraceUsers(workload.LargeVariationTrace(), dur, 1250),
-		tel:    p.Telemetry.Group("profile"),
-		prof:   p.Profile,
+		seed:         p.Seed,
+		app:          buildChain(60),
+		refs:         []cluster.ResourceRef{ref},
+		target:       workload.TraceUsers(workload.LargeVariationTrace(), dur, 1250),
+		tel:          p.Telemetry.Group("profile"),
+		flightWindow: p.Timeline,
+		prof:         p.Profile,
 	})
 	if err != nil {
 		return err
@@ -174,11 +175,12 @@ func runAblationDeadline(p Params, w io.Writer) error {
 	valGrp := p.Telemetry.Group("validate")
 	score := func(i, size int) (float64, error) {
 		vr, err := newRig(rigConfig{
-			seed:   p.Seed + 999,
-			app:    buildChain(size),
-			target: workload.ConstantUsers(900),
-			tel:    valGrp.Unit(i, fmt.Sprintf("pool-%d", size)),
-			prof:   p.Profile,
+			seed:         p.Seed + 999,
+			app:          buildChain(size),
+			target:       workload.ConstantUsers(900),
+			tel:          valGrp.Unit(i, fmt.Sprintf("pool-%d", size)),
+			flightWindow: p.Timeline,
+			prof:         p.Profile,
 		})
 		if err != nil {
 			return 0, err
@@ -218,13 +220,14 @@ func runAblationDegree(p Params, w io.Writer) error {
 	dur := p.scale(3 * time.Minute)
 	app, mix := fc.build(fc.estPool)
 	r, err := newRig(rigConfig{
-		seed:   p.Seed,
-		app:    app,
-		mix:    mix,
-		refs:   []cluster.ResourceRef{fc.ref},
-		target: workload.TraceUsers(workload.LargeVariationTrace(), dur, fc.estUsers),
-		tel:    p.Telemetry,
-		prof:   p.Profile,
+		seed:         p.Seed,
+		app:          app,
+		mix:          mix,
+		refs:         []cluster.ResourceRef{fc.ref},
+		target:       workload.TraceUsers(workload.LargeVariationTrace(), dur, fc.estUsers),
+		tel:          p.Telemetry,
+		flightWindow: p.Timeline,
+		prof:         p.Profile,
 	})
 	if err != nil {
 		return err
@@ -279,12 +282,13 @@ func runAblationLocalize(p Params, w io.Writer) error {
 		}
 	}
 	r, err := newRig(rigConfig{
-		seed:   p.Seed,
-		app:    app,
-		mix:    mix,
-		target: workload.ConstantUsers(900),
-		tel:    p.Telemetry,
-		prof:   p.Profile,
+		seed:         p.Seed,
+		app:          app,
+		mix:          mix,
+		target:       workload.ConstantUsers(900),
+		tel:          p.Telemetry,
+		flightWindow: p.Timeline,
+		prof:         p.Profile,
 	})
 	if err != nil {
 		return err

@@ -121,13 +121,14 @@ func runChaosUnit(p Params, appName string, strat chaosStrategy, planName string
 		app := topology.SockShop(cfg)
 		ref := cluster.ResourceRef{Service: topology.Cart, Kind: cluster.PoolThreads}
 		r, err = newRig(rigConfig{
-			seed:   p.Seed,
-			app:    app,
-			mix:    topology.CartOnlyMix(app),
-			refs:   []cluster.ResourceRef{ref},
-			target: workload.ConstantUsers(900),
-			tel:    p.Telemetry,
-			prof:   p.Profile,
+			seed:         p.Seed,
+			app:          app,
+			mix:          topology.CartOnlyMix(app),
+			refs:         []cluster.ResourceRef{ref},
+			target:       workload.ConstantUsers(900),
+			tel:          p.Telemetry,
+			flightWindow: p.Timeline,
+			prof:         p.Profile,
 		})
 		if err != nil {
 			return nil, err
@@ -167,13 +168,14 @@ func runChaosUnit(p Params, appName string, strat chaosStrategy, planName string
 			Target:  topology.PostStorage,
 		}
 		r, err = newRig(rigConfig{
-			seed:   p.Seed,
-			app:    app,
-			mix:    topology.HomeTimelineOnlyMix(false),
-			refs:   []cluster.ResourceRef{ref},
-			target: workload.ConstantUsers(1500),
-			tel:    p.Telemetry,
-			prof:   p.Profile,
+			seed:         p.Seed,
+			app:          app,
+			mix:          topology.HomeTimelineOnlyMix(false),
+			refs:         []cluster.ResourceRef{ref},
+			target:       workload.ConstantUsers(1500),
+			tel:          p.Telemetry,
+			flightWindow: p.Timeline,
+			prof:         p.Profile,
 		})
 		if err != nil {
 			return nil, err

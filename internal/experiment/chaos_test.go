@@ -3,6 +3,7 @@ package experiment
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"sora/internal/telemetry"
 )
@@ -43,6 +44,50 @@ func TestChaosArtifactEquivalence(t *testing.T) {
 	for _, unit := range []string{"sockshop_static", "sockshop_Sora", "socialnet_autoscaler"} {
 		if !strings.Contains(serial, unit) {
 			t.Errorf("artifacts missing unit path %s", unit)
+		}
+	}
+}
+
+// TestChaosTimelineEquivalence is the flight-recorder determinism
+// guardrail: with Params.Timeline armed, the exported timeline of a
+// seeded chaos run must be byte-identical whether the six
+// (app, strategy) units run on one worker or four, and must interleave
+// windowed rows with fault markers.
+func TestChaosTimelineEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos timeline equivalence runs twelve minimum-length simulations; skipped in -short")
+	}
+	run := func(parallelism int) string {
+		rec := telemetry.NewRecorder("chaos-test")
+		p := Params{
+			Seed: 5, DurationScale: 0.001, Quiet: true,
+			Parallelism: parallelism, Telemetry: rec, Timeline: time.Second,
+		}
+		var sb strings.Builder
+		if err := RunChaos(p, &sb, "crash"); err != nil {
+			t.Fatalf("parallelism=%d: %v", parallelism, err)
+		}
+		var tl strings.Builder
+		if err := rec.WriteTimeline(&tl); err != nil {
+			t.Fatal(err)
+		}
+		return tl.String()
+	}
+	serial := run(1)
+	parallel := run(4)
+	if serial != parallel {
+		a, b := diffLine(serial, parallel)
+		t.Fatalf("timeline differs between serial and parallel runs:\nserial:   %s\nparallel: %s", a, b)
+	}
+	for _, kind := range []string{`"kind":"timeline.window"`, `"kind":"timeline.cluster"`, `"kind":"fault.inject"`, `"kind":"fault.recover"`} {
+		if !strings.Contains(serial, kind) {
+			t.Errorf("timeline carries no %s row", kind)
+		}
+	}
+	// High-volume operational events must stay out of the timeline export.
+	for _, kind := range []string{`"kind":"resilience.retry"`, `"kind":"cluster.drop"`} {
+		if strings.Contains(serial, kind) {
+			t.Errorf("timeline leaked %s", kind)
 		}
 	}
 }

@@ -92,13 +92,14 @@ func runCartStrategy(p Params, rc cartRunConfig) (*cartRunResult, error) {
 	ref := cluster.ResourceRef{Service: topology.Cart, Kind: cluster.PoolThreads}
 
 	r, err := newRig(rigConfig{
-		seed:   rc.seed,
-		app:    app,
-		mix:    topology.CartOnlyMix(app),
-		refs:   []cluster.ResourceRef{ref},
-		target: workload.TraceUsers(rc.trace, dur, rc.peakUsers),
-		tel:    p.Telemetry,
-		prof:   p.Profile,
+		seed:         rc.seed,
+		app:          app,
+		mix:          topology.CartOnlyMix(app),
+		refs:         []cluster.ResourceRef{ref},
+		target:       workload.TraceUsers(rc.trace, dur, rc.peakUsers),
+		tel:          p.Telemetry,
+		flightWindow: p.Timeline,
+		prof:         p.Profile,
 	})
 	if err != nil {
 		return nil, err

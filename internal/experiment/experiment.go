@@ -55,6 +55,13 @@ type Params struct {
 	// its artifacts are byte-identical between serial and parallel runs
 	// without per-unit scoping. Nil disables profiling at zero cost.
 	Profile *profile.Aggregator
+	// Timeline, when > 0 and Telemetry is set, arms a flight recorder on
+	// every cluster the experiment builds: per-service latency sketches,
+	// rate counters and pool state are flushed as `timeline.*` rows once
+	// per window of this length (see cluster.ArmFlightRecorder). Export
+	// with telemetry.Recorder.WriteTimeline; rows are byte-identical
+	// between serial and parallel runs. Zero disables the recorder.
+	Timeline time.Duration
 }
 
 // unitParams returns a copy of p whose Telemetry points at the given

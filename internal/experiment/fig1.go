@@ -60,13 +60,14 @@ func runFig1(p Params, w io.Writer) error {
 			return 2400
 		}
 		r, err := newRig(rigConfig{
-			seed:   p.Seed,
-			app:    app,
-			mix:    topology.BrowseOnlyMix(app),
-			refs:   []cluster.ResourceRef{ref},
-			target: target,
-			tel:    tel,
-			prof:   p.Profile,
+			seed:         p.Seed,
+			app:          app,
+			mix:          topology.BrowseOnlyMix(app),
+			refs:         []cluster.ResourceRef{ref},
+			target:       target,
+			tel:          tel,
+			flightWindow: p.Timeline,
+			prof:         p.Profile,
 		})
 		if err != nil {
 			return nil, err

@@ -54,13 +54,14 @@ func runFig12(p Params, w io.Writer) error {
 			Target:  topology.PostStorage,
 		}
 		r, err := newRig(rigConfig{
-			seed:   p.Seed,
-			app:    app,
-			mix:    topology.HomeTimelineOnlyMix(false),
-			refs:   []cluster.ResourceRef{ref},
-			target: workload.TraceUsers(workload.LargeVariationTrace(), dur, 3200),
-			tel:    tel,
-			prof:   p.Profile,
+			seed:         p.Seed,
+			app:          app,
+			mix:          topology.HomeTimelineOnlyMix(false),
+			refs:         []cluster.ResourceRef{ref},
+			target:       workload.TraceUsers(workload.LargeVariationTrace(), dur, 3200),
+			tel:          tel,
+			flightWindow: p.Timeline,
+			prof:         p.Profile,
 		})
 		if err != nil {
 			return nil, err

@@ -58,12 +58,13 @@ func runFig4(p Params, w io.Writer) error {
 		cfg.CartThreads = threads
 		app := topology.SockShop(cfg)
 		r, err := newRig(rigConfig{
-			seed:   p.Seed,
-			app:    app,
-			mix:    topology.CartOnlyMix(app),
-			target: workload.ConstantUsers(users),
-			tel:    grp.Unit(i, fmt.Sprintf("threads-%d", threads)),
-			prof:   p.Profile,
+			seed:         p.Seed,
+			app:          app,
+			mix:          topology.CartOnlyMix(app),
+			target:       workload.ConstantUsers(users),
+			tel:          grp.Unit(i, fmt.Sprintf("threads-%d", threads)),
+			flightWindow: p.Timeline,
+			prof:         p.Profile,
 		})
 		if err != nil {
 			return result{}, err

@@ -38,13 +38,14 @@ func runFig7(p Params, w io.Writer) error {
 	app := topology.SockShop(cfg)
 	ref := cluster.ResourceRef{Service: topology.Cart, Kind: cluster.PoolThreads}
 	r, err := newRig(rigConfig{
-		seed:   p.Seed,
-		app:    app,
-		mix:    topology.CartOnlyMix(app),
-		refs:   []cluster.ResourceRef{ref},
-		target: workload.TraceUsers(workload.LargeVariationTrace(), dur, 1100),
-		tel:    p.Telemetry,
-		prof:   p.Profile,
+		seed:         p.Seed,
+		app:          app,
+		mix:          topology.CartOnlyMix(app),
+		refs:         []cluster.ResourceRef{ref},
+		target:       workload.TraceUsers(workload.LargeVariationTrace(), dur, 1100),
+		tel:          p.Telemetry,
+		flightWindow: p.Timeline,
+		prof:         p.Profile,
 	})
 	if err != nil {
 		return err

@@ -201,13 +201,14 @@ func fig9Estimate(p Params, fc fig9Case) (int, error) {
 	dur := p.scale(3 * time.Minute)
 	app, mix := fc.build(fc.estPool)
 	r, err := newRig(rigConfig{
-		seed:   p.Seed,
-		app:    app,
-		mix:    mix,
-		refs:   []cluster.ResourceRef{fc.ref},
-		target: workload.TraceUsers(workload.LargeVariationTrace(), dur, fc.estUsers),
-		tel:    p.Telemetry,
-		prof:   p.Profile,
+		seed:         p.Seed,
+		app:          app,
+		mix:          mix,
+		refs:         []cluster.ResourceRef{fc.ref},
+		target:       workload.TraceUsers(workload.LargeVariationTrace(), dur, fc.estUsers),
+		tel:          p.Telemetry,
+		flightWindow: p.Timeline,
+		prof:         p.Profile,
 	})
 	if err != nil {
 		return 0, err
@@ -242,12 +243,13 @@ func fig9Validate(p Params, fc fig9Case, size, users int) (float64, error) {
 	dur := p.scale(100 * time.Second)
 	app, mix := fc.build(size)
 	r, err := newRig(rigConfig{
-		seed:   p.Seed + uint64(size)*17 + uint64(users),
-		app:    app,
-		mix:    mix,
-		target: workload.ConstantUsers(users),
-		tel:    p.Telemetry,
-		prof:   p.Profile,
+		seed:         p.Seed + uint64(size)*17 + uint64(users),
+		app:          app,
+		mix:          mix,
+		target:       workload.ConstantUsers(users),
+		tel:          p.Telemetry,
+		flightWindow: p.Timeline,
+		prof:         p.Profile,
 	})
 	if err != nil {
 		return 0, err

@@ -32,6 +32,7 @@ type rig struct {
 	e2e *metrics.CompletionLog
 
 	timeline *timeline
+	flight   *cluster.FlightRecorder
 	tickers  []*sim.Ticker
 	stoppers []func()
 }
@@ -77,6 +78,11 @@ type rigConfig struct {
 	// attribution. One order-independent aggregator is shared across all
 	// rigs of an experiment (see Params.Profile).
 	prof *profile.Aggregator
+
+	// flightWindow, when > 0 and tel is set, arms the cluster's flight
+	// recorder at this window (see Params.Timeline). The goodput SLA is
+	// the classification threshold for the good/degraded/violated split.
+	flightWindow time.Duration
 }
 
 func newRig(cfg rigConfig) (*rig, error) {
@@ -110,6 +116,13 @@ func newRig(cfg rigConfig) (*rig, error) {
 		return nil, err
 	}
 	r := &rig{k: k, c: c, mon: mon, loop: loop, e2e: &metrics.CompletionLog{}}
+	if cfg.tel != nil && cfg.flightWindow > 0 {
+		f, err := c.ArmFlightRecorder(cfg.flightWindow, goodputRTT)
+		if err != nil {
+			return nil, err
+		}
+		r.flight = f
+	}
 	c.OnComplete(func(tr *trace.Trace) {
 		// Degraded completions must not count as goodput in the final
 		// report, exactly as in the cluster's own pruned logs.
@@ -147,6 +160,9 @@ func (r *rig) run(d time.Duration) {
 	if r.timeline != nil {
 		r.timeline.stop()
 	}
+	// The flight recorder's ticker must stop before the drain (it would
+	// re-arm forever); Stop also flushes the final partial window.
+	r.flight.Stop()
 	if r.ctl != nil {
 		r.ctl.Stop()
 	}

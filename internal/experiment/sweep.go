@@ -51,12 +51,13 @@ func runSweep(p Params, sc sweepCase, sizes []int, thresholds []time.Duration, u
 		size := sizes[i]
 		app, mix := sc.build(size)
 		r, err := newRig(rigConfig{
-			seed:   p.Seed + uint64(size)*1000003,
-			app:    app,
-			mix:    mix,
-			target: workload.ConstantUsers(sc.users),
-			tel:    grp.Unit(i, fmt.Sprintf("size-%d", size)),
-			prof:   p.Profile,
+			seed:         p.Seed + uint64(size)*1000003,
+			app:          app,
+			mix:          mix,
+			target:       workload.ConstantUsers(sc.users),
+			tel:          grp.Unit(i, fmt.Sprintf("size-%d", size)),
+			flightWindow: p.Timeline,
+			prof:         p.Profile,
 		})
 		if err != nil {
 			return sweepPoint{}, err

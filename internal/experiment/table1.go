@@ -177,6 +177,7 @@ func table1Runs(p Params, fc fig9Case) []*estimateRun {
 			target:         workload.TraceUsers(workload.LargeVariationTrace(), dur, fc.estUsers),
 			sampleInterval: 10 * time.Millisecond,
 			tel:            p.Telemetry.Unit(rep, fmt.Sprintf("rep-%d", rep)),
+			flightWindow:   p.Timeline,
 			prof:           p.Profile,
 		})
 		if err != nil {

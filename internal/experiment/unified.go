@@ -61,13 +61,14 @@ func runUnifiedExt(p Params, w io.Writer) error {
 		app := topology.SockShop(cfg)
 		ref := cluster.ResourceRef{Service: topology.Cart, Kind: cluster.PoolThreads}
 		r, err := newRig(rigConfig{
-			seed:   p.Seed,
-			app:    app,
-			mix:    topology.CartOnlyMix(app),
-			refs:   []cluster.ResourceRef{ref},
-			target: workload.TraceUsers(workload.SteepTriPhaseTrace(), dur, peakUsers),
-			tel:    tel,
-			prof:   p.Profile,
+			seed:         p.Seed,
+			app:          app,
+			mix:          topology.CartOnlyMix(app),
+			refs:         []cluster.ResourceRef{ref},
+			target:       workload.TraceUsers(workload.SteepTriPhaseTrace(), dur, peakUsers),
+			tel:          tel,
+			flightWindow: p.Timeline,
+			prof:         p.Profile,
 		})
 		return r, ref, err
 	}

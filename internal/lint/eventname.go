@@ -24,6 +24,8 @@ var EventNames = []string{
 	"fault.recover",
 	"resilience.breaker",
 	"resilience.retry",
+	"timeline.cluster",
+	"timeline.window",
 }
 
 // eventNameRE is the shape every event kind must have: lowercase

@@ -79,6 +79,31 @@ func (r *Recorder) WriteJSONL(w io.Writer) error {
 	return bw.Flush()
 }
 
+// escapeLabelValue escapes a Prometheus label value per the text
+// exposition format: backslash, double quote and newline become \\, \"
+// and \n. Backslash must be handled first so an input backslash is
+// never re-escaped by a later rule.
+func escapeLabelValue(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 4)
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
 // metricSample is one flattened (metric, unit) pair collected for the
 // Prometheus snapshot.
 type metricSample struct {
@@ -138,7 +163,7 @@ func (r *Recorder) WriteMetrics(w io.Writer) error {
 		}
 		fmt.Fprintf(bw, "# TYPE %s %s\n", f.base, typ)
 		for _, s := range f.rows {
-			unitLabel := `unit="` + strings.ReplaceAll(s.unit, `"`, `\"`) + `"`
+			unitLabel := `unit="` + escapeLabelValue(s.unit) + `"`
 			var line string
 			if i := strings.IndexByte(s.name, '{'); i >= 0 {
 				// name already carries labels: splice unit before "}".
@@ -223,6 +248,60 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 		}
 	})
 	bw.WriteString("\n]}\n")
+	return bw.Flush()
+}
+
+// timelineKind reports whether an event kind belongs on the flight-
+// recorder timeline export: the windowed `timeline.*` rows plus the
+// point-in-time annotations that give them causal context (controller
+// decisions and errors, hardware and autoscaler moves, reconfigs, fault
+// windows).
+func timelineKind(kind string) bool {
+	if strings.HasPrefix(kind, "timeline.") {
+		return true
+	}
+	switch kind {
+	case "controller.decision", "controller.error", "controller.hardware",
+		"autoscaler.scale", "cluster.reconfig",
+		"fault.inject", "fault.recover":
+		return true
+	}
+	return false
+}
+
+// WriteTimeline writes the tree's flight-recorder timeline as JSONL: the
+// same line format as WriteJSONL, filtered to timeline rows and their
+// annotation events (see timelineKind). Export order is the
+// deterministic tree walk, so the artifact is byte-identical between
+// serial and parallel runs of the same seed.
+func (r *Recorder) WriteTimeline(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	r.walk("", func(path string, rec *Recorder) {
+		rec.mu.Lock()
+		events := rec.events
+		rec.mu.Unlock()
+		for _, ev := range events {
+			if !timelineKind(ev.Kind) {
+				continue
+			}
+			bw.WriteString(`{"t_us":`)
+			bw.WriteString(strconv.FormatInt(ev.At.Microseconds(), 10))
+			bw.WriteString(`,"unit":`)
+			bw.WriteString(quoteJSON(path))
+			bw.WriteString(`,"kind":`)
+			bw.WriteString(quoteJSON(ev.Kind))
+			for _, a := range ev.Attrs {
+				bw.WriteByte(',')
+				bw.WriteString(quoteJSON(a.Key))
+				bw.WriteByte(':')
+				bw.WriteString(a.Value())
+			}
+			bw.WriteString("}\n")
+		}
+	})
 	return bw.Flush()
 }
 

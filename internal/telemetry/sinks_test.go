@@ -1,0 +1,87 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"sora/internal/sim"
+)
+
+// TestMetricsLabelEscaping pins the Prometheus exposition-format rules
+// for label values: backslash, double quote and newline must appear as
+// \\, \" and \n. Unit labels come from user-controlled experiment and
+// group names, so hostile characters must not corrupt the snapshot.
+func TestMetricsLabelEscaping(t *testing.T) {
+	root := NewRecorder(`ex"p`)
+	g := root.Group("pha\\se\nx")
+	g.AddCounter("sora_requests_completed_total", 1)
+	var b strings.Builder
+	if err := root.WriteMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE sora_requests_completed_total counter
+sora_requests_completed_total{unit="ex\"p/pha\\se\nx"} 1
+`
+	if b.String() != want {
+		t.Fatalf("escaping mismatch:\ngot:  %q\nwant: %q", b.String(), want)
+	}
+}
+
+func TestEscapeLabelValue(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"plain", "plain"},
+		{`a\b`, `a\\b`},
+		{`a"b`, `a\"b`},
+		{"a\nb", `a\nb`},
+		{"a\\\"\nb", `a\\\"\nb`},
+		{`\\`, `\\\\`},
+	}
+	for _, tc := range cases {
+		if got := escapeLabelValue(tc.in); got != tc.want {
+			t.Errorf("escapeLabelValue(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestWriteTimelineFilter pins the timeline export contract: `timeline.*`
+// rows and annotation kinds (controller decisions, reconfigs, faults)
+// survive, high-volume operational events (drops, retries) do not, and
+// the line format matches WriteJSONL byte for byte.
+func TestWriteTimelineFilter(t *testing.T) {
+	root := NewRecorder("exp")
+	u := root.Group("runs").Unit(0, "sockshop_sora")
+	ms := func(n int) sim.Time { return sim.Time(time.Duration(n) * time.Millisecond) }
+	u.Publish(ms(1), "timeline.window", String("service", "cart"), Float("p99_ms", 12.5))
+	u.Publish(ms(1), "timeline.cluster", Float("win_s", 1), Int("good", 10))
+	u.Publish(ms(2), "cluster.drop", String("service", "cart"), Int("count", 3))
+	u.Publish(ms(3), "controller.decision", String("resource", "cart threads"), Bool("applied", true))
+	u.Publish(ms(4), "fault.inject", String("kind", "crash"), String("target", "cart"))
+	u.Publish(ms(5), "resilience.retry", String("caller", "frontend"), Int("count", 7))
+	u.Publish(ms(6), "fault.recover", String("kind", "crash"), String("target", "cart"))
+
+	var b strings.Builder
+	if err := root.WriteTimeline(&b); err != nil {
+		t.Fatal(err)
+	}
+	// Note the fault events carry their own "kind" attribute after the
+	// envelope's — the same shape WriteJSONL exports for them today.
+	want := `{"t_us":1000,"unit":"exp/runs/sockshop_sora","kind":"timeline.window","service":"cart","p99_ms":12.5}
+{"t_us":1000,"unit":"exp/runs/sockshop_sora","kind":"timeline.cluster","win_s":1,"good":10}
+{"t_us":3000,"unit":"exp/runs/sockshop_sora","kind":"controller.decision","resource":"cart threads","applied":true}
+{"t_us":4000,"unit":"exp/runs/sockshop_sora","kind":"fault.inject","kind":"crash","target":"cart"}
+{"t_us":6000,"unit":"exp/runs/sockshop_sora","kind":"fault.recover","kind":"crash","target":"cart"}
+`
+	if b.String() != want {
+		t.Fatalf("timeline mismatch:\ngot:\n%swant:\n%s", b.String(), want)
+	}
+}
+
+// TestWriteTimelineNil: the sink is nil-receiver safe like every other
+// exported Recorder method.
+func TestWriteTimelineNil(t *testing.T) {
+	var r *Recorder
+	if err := r.WriteTimeline(nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -39,7 +39,7 @@ echo "== go test ./..."
 go test ./...
 
 echo "== go test -race (concurrent packages)"
-go test -race -short ./internal/experiment ./internal/sim ./internal/telemetry ./internal/profile ./internal/cluster ./internal/trace ./internal/fault
+go test -race -short ./internal/experiment ./internal/sim ./internal/telemetry ./internal/profile ./internal/cluster ./internal/trace ./internal/fault ./internal/metrics ./internal/stats
 
 echo "== bench smoke (compile + one quick iteration, not timing-gated)"
 BENCH_TMP="$(mktemp)"
