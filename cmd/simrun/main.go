@@ -14,9 +14,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 	"time"
 
+	"sora/internal/autoscaler"
 	"sora/internal/cluster"
+	"sora/internal/compare"
+	"sora/internal/core"
 	"sora/internal/fault"
 	"sora/internal/metrics"
 	"sora/internal/profile"
@@ -36,6 +41,7 @@ func main() {
 
 func run() error {
 	var (
+		runID     = flag.String("id", "simrun", "run identifier: recorder label, artifact base name, manifest id")
 		appName   = flag.String("app", "sockshop", "application: sockshop | socialnetwork")
 		mixName   = flag.String("mix", "", "mix: full (default) | cart | browse | timeline")
 		users     = flag.Int("users", 900, "closed-loop user population (constant)")
@@ -52,6 +58,7 @@ func run() error {
 		heavy       = flag.Bool("heavy", false, "social network: heavy (10-post) reads")
 
 		faultPlan = flag.String("fault-plan", "", "inject the named deterministic fault plan (see internal/fault.Names); installs the app's default resilience policies")
+		strategy  = flag.String("strategy", "static", "management strategy: static | autoscaler | sora — autoscaler wires the app's hardware scaler (FIRM/HPA), sora adds the SCG pool controller on top")
 
 		thresholds = flag.String("thresholds", "50ms,100ms,250ms,400ms", "comma-separated goodput thresholds")
 		telDir     = flag.String("telemetry-dir", "", "directory for telemetry artifacts (optional)")
@@ -61,6 +68,8 @@ func run() error {
 		archive    = flag.String("trace-archive", "", "write completed traces as a JSONL archive (tracedig input)")
 		profFlag   = flag.Bool("profile", false, "print the latency-attribution blame table after the run")
 		slo        = flag.Duration("slo", 0, "SLO for the -profile violation breakdown (0 = disabled)")
+		foldedOut  = flag.String("folded", "", "write the folded-stack blame profile to FILE (flamegraph/soradiff input)")
+		manOut     = flag.String("manifest", "", "write the run manifest (identity, params, artifact digests) to FILE")
 	)
 	flag.Parse()
 
@@ -100,10 +109,29 @@ func run() error {
 		return fmt.Errorf("unknown app %q", *appName)
 	}
 
+	mixLabel := *mixName
+	if mixLabel == "" {
+		mixLabel = "full"
+	}
+
 	k := sim.NewKernel(*seed)
 	var rec *telemetry.Recorder
-	if *telDir != "" || *tlFile != "" {
-		rec = telemetry.NewRecorder("simrun")
+	if *telDir != "" || *tlFile != "" || *manOut != "" {
+		rec = telemetry.NewRecorder(*runID)
+		// Self-identification record: the run's artifacts lead with the
+		// config that produced them, so soradiff can align two runs
+		// without out-of-band context.
+		rec.Publish(0, "run.manifest",
+			telemetry.String("id", *runID),
+			telemetry.String("tool", "simrun"),
+			telemetry.String("app", *appName),
+			telemetry.String("mix", mixLabel),
+			telemetry.String("strategy", *strategy),
+			telemetry.String("plan", *faultPlan),
+			telemetry.Int64("seed", int64(*seed)),
+			telemetry.Int("users", *users),
+			telemetry.Float("dur_s", duration.Seconds()),
+		)
 	}
 	c, err := cluster.New(k, app, cluster.Options{Telemetry: rec})
 	if err != nil {
@@ -111,6 +139,79 @@ func run() error {
 	}
 	if err := c.SetMix(mix); err != nil {
 		return err
+	}
+
+	// Strategy wiring mirrors the chaos experiment: FIRM drives Sock
+	// Shop's cart cores, HPA drives Social Network's post-storage
+	// replicas, and "sora" layers the SCG controller over the same
+	// hardware scaler to adapt the app's bottleneck pool.
+	var (
+		mon      *core.Monitor
+		ctl      *core.Controller
+		hwTicker *sim.Ticker
+	)
+	if *strategy != "static" {
+		if *strategy != "autoscaler" && *strategy != "sora" {
+			return fmt.Errorf("unknown strategy %q (static | autoscaler | sora)", *strategy)
+		}
+		var hw core.HardwareScaler
+		var managed []core.ManagedResource
+		var refs []cluster.ResourceRef
+		switch *appName {
+		case "sockshop":
+			ref := cluster.ResourceRef{Service: topology.Cart, Kind: cluster.PoolThreads}
+			refs = []cluster.ResourceRef{ref}
+			firm, ferr := autoscaler.NewFIRM(c, autoscaler.FIRMConfig{
+				Service: topology.Cart,
+				SLO:     400 * time.Millisecond,
+				Ladder:  []float64{2, 4},
+			})
+			if ferr != nil {
+				return ferr
+			}
+			hw = firm
+			managed = []core.ManagedResource{{Ref: ref, Min: 2, Max: 200}}
+		case "socialnetwork":
+			ref := cluster.ResourceRef{
+				Service: topology.HomeTimeline,
+				Kind:    cluster.PoolClientConns,
+				Target:  topology.PostStorage,
+			}
+			refs = []cluster.ResourceRef{ref}
+			hpa, herr := autoscaler.NewHPA(c, autoscaler.HPAConfig{
+				Service:     topology.PostStorage,
+				MaxReplicas: 6,
+			})
+			if herr != nil {
+				return herr
+			}
+			hw = hpa
+			managed = []core.ManagedResource{{Ref: ref, Min: 4, Max: 300}}
+		}
+		if *strategy == "autoscaler" {
+			hwTicker = k.Every(core.DefaultControlPeriod, func() { hw.Step(k.Now()) })
+		} else {
+			mon, err = core.NewMonitor(c, 0, refs, c.ServiceNames())
+			if err != nil {
+				return err
+			}
+			scg, serr := core.NewSCG(c, mon, core.SCGConfig{
+				SLA:    400 * time.Millisecond,
+				Window: 45 * time.Second,
+			})
+			if serr != nil {
+				return serr
+			}
+			ctl, err = core.NewController(c, core.ControllerConfig{
+				Model:   scg,
+				Scaler:  hw,
+				Managed: managed,
+				Warmup:  30 * time.Second,
+			})
+			if err != nil {
+				return err
+			}
+		}
 	}
 	var flight *cluster.FlightRecorder
 	if *tlFile != "" {
@@ -166,7 +267,7 @@ func run() error {
 		eng.Start()
 	}
 	var agg *profile.Aggregator
-	if *profFlag {
+	if *profFlag || *foldedOut != "" {
 		agg = profile.NewAggregator(*slo)
 		c.OnComplete(agg.Add)
 	}
@@ -194,16 +295,31 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	if mon != nil {
+		mon.Start()
+	}
 	loop.Start()
+	if ctl != nil {
+		ctl.Start()
+	}
 	start := time.Now() //soravet:allow wallclock CLI reports real elapsed wall time alongside virtual-time results
 	k.RunUntil(sim.Time(*duration))
-	loop.Stop()
 	flight.Stop() // the window ticker must stop before the drain
+	if ctl != nil {
+		ctl.Stop()
+	}
+	if hwTicker != nil {
+		hwTicker.Stop()
+	}
+	loop.Stop()
+	if mon != nil {
+		mon.Stop()
+	}
 	k.Run()
 	c.FlushTelemetry()
 	agg.FlushTelemetry(rec)
 	if *telDir != "" {
-		if err := rec.WriteFiles(*telDir, "simrun"); err != nil {
+		if err := rec.WriteFiles(*telDir, *runID); err != nil {
 			return fmt.Errorf("telemetry: %w", err)
 		}
 	}
@@ -233,6 +349,35 @@ func run() error {
 			return err
 		}
 		fmt.Printf("archived %d traces to %s\n", len(archived), *archive)
+	}
+	if *foldedOut != "" {
+		f, err := os.Create(*foldedOut)
+		if err != nil {
+			return err
+		}
+		if err := profile.WriteFolded(f, agg.Snapshot()); err != nil {
+			f.Close()
+			return fmt.Errorf("folded: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if *manOut != "" {
+		if err := writeRunManifest(*manOut, *runID, int64(*seed), rec,
+			[]compare.KV{
+				compare.Str("app", *appName),
+				compare.Str("mix", mixLabel),
+				compare.Str("strategy", *strategy),
+				compare.Str("plan", *faultPlan),
+				compare.Int("users", int64(*users)),
+				compare.Str("trace", *traceName),
+				compare.Str("duration", duration.String()),
+				compare.Str("timeline_window", tlWindow.String()),
+			},
+			artifactPaths(*telDir, *runID, *tlFile, *foldedOut, *archive)); err != nil {
+			return fmt.Errorf("manifest: %w", err)
+		}
 	}
 
 	warm := sim.Time(10 * time.Second)
@@ -296,6 +441,58 @@ func run() error {
 		}
 	}
 	return nil
+}
+
+// artifactPaths collects every artifact file this invocation wrote.
+func artifactPaths(telDir, id, tlFile, foldedOut, archive string) []string {
+	var files []string
+	if telDir != "" {
+		for _, suffix := range []string{".events.jsonl", ".metrics.prom", ".trace.json"} {
+			files = append(files, filepath.Join(telDir, id+suffix))
+		}
+	}
+	for _, f := range []string{tlFile, foldedOut, archive} {
+		if f != "" {
+			files = append(files, f)
+		}
+	}
+	return files
+}
+
+// writeRunManifest digests the artifacts relative to the manifest's own
+// directory and writes the manifest file.
+func writeRunManifest(path, id string, seed int64, rec *telemetry.Recorder, params []compare.KV, files []string) error {
+	dir, err := filepath.Abs(filepath.Dir(path))
+	if err != nil {
+		return err
+	}
+	abs := make([]string, 0, len(files))
+	for _, f := range files {
+		a, err := filepath.Abs(f)
+		if err != nil {
+			return err
+		}
+		abs = append(abs, a)
+	}
+	var counters []compare.KV
+	for _, m := range rec.CounterTotals() {
+		if strings.Contains(m.Name, "_bucket{") {
+			// Histogram buckets live in the .metrics.prom artifact (and
+			// its digest); repeating hundreds of them here would bury the
+			// closing counters the manifest exists to surface.
+			continue
+		}
+		counters = append(counters, compare.Num(m.Name, m.Value))
+	}
+	m, err := compare.BuildManifest(dir, id, "simrun", seed, params, counters, abs)
+	if err != nil {
+		return err
+	}
+	enc, err := compare.EncodeManifest(m)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, enc, 0o644)
 }
 
 func splitComma(s string) []string {

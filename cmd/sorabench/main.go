@@ -56,6 +56,7 @@ import (
 	"time"
 
 	"sora/internal/bench"
+	"sora/internal/compare"
 	"sora/internal/experiment"
 	"sora/internal/profile"
 	"sora/internal/telemetry"
@@ -88,11 +89,22 @@ func run() error {
 		benchQuick = flag.Bool("bench-quick", false, "shrink the bench measurement window to a smoke check (numbers not meaningful)")
 		benchLabel = flag.String("bench-label", "current", "label for the recorded bench entry (same label = refresh in place)")
 		benchNote  = flag.String("bench-note", "", "free-form note stored with the bench entry")
+
+		baseline       = flag.String("baseline", "", "replay the pinned regression-sentinel suite and check it against the baseline FILE (see scripts/regress.sh)")
+		baselineQuick  = flag.Bool("baseline-quick", false, "check only the deterministic sim metrics (skips the machine-sensitive bench numbers)")
+		baselineUpdate = flag.Bool("baseline-update", false, "regenerate the baseline FILE from the fresh run instead of checking")
 	)
 	flag.Parse()
 
 	if *benchJSON != "" {
 		return runBenchSuite(*benchJSON, *benchLabel, *benchNote, *benchQuick)
+	}
+	if *baseline != "" {
+		workers := *parallel
+		if *serial {
+			workers = 1
+		}
+		return runBaselineCheck(*baseline, workers, *baselineQuick, *baselineUpdate)
 	}
 
 	if *list || (*exp == "" && *chaos == "") {
@@ -165,6 +177,15 @@ func run() error {
 		profs = make([]*profile.Aggregator, len(selected))
 		for i, e := range selected {
 			recs[i] = telemetry.NewRecorder(e.ID)
+			// Self-identification record at t=0: every event log and
+			// timeline leads with the invocation that produced it, so
+			// soradiff can align runs without out-of-band context.
+			recs[i].Publish(0, "run.manifest",
+				telemetry.String("id", e.ID),
+				telemetry.String("tool", "sorabench"),
+				telemetry.Int64("seed", int64(*seed)),
+				telemetry.Float("scale", *scale),
+			)
 			profs[i] = profile.NewAggregator(*slo)
 		}
 		opts = append(opts, experiment.WithRecorders(func(i int, _ experiment.Experiment) *telemetry.Recorder {
@@ -201,26 +222,50 @@ func run() error {
 		// The profile's phase histograms ride along in the Prometheus
 		// snapshot, so flush before the files are rendered.
 		profs[i].FlushTelemetry(rec)
+		id := selected[i].ID
+		var written []string
 		if *telDir != "" {
-			if err := rec.WriteFiles(*telDir, selected[i].ID); err != nil {
-				fmt.Fprintf(os.Stderr, "sorabench: telemetry for %s: %v\n", selected[i].ID, err)
+			if err := rec.WriteFiles(*telDir, id); err != nil {
+				fmt.Fprintf(os.Stderr, "sorabench: telemetry for %s: %v\n", id, err)
 				if firstErr == nil {
 					firstErr = err
+				}
+			} else {
+				for _, suffix := range []string{".events.jsonl", ".metrics.prom", ".trace.json"} {
+					written = append(written, filepath.Join(*telDir, id+suffix))
 				}
 			}
-			if err := writeProfile(*telDir, selected[i].ID, profs[i].Snapshot()); err != nil {
-				fmt.Fprintf(os.Stderr, "sorabench: profile for %s: %v\n", selected[i].ID, err)
+			if err := writeProfile(*telDir, id, profs[i].Snapshot()); err != nil {
+				fmt.Fprintf(os.Stderr, "sorabench: profile for %s: %v\n", id, err)
 				if firstErr == nil {
 					firstErr = err
 				}
+			} else {
+				written = append(written,
+					filepath.Join(*telDir, id+".profile.txt"),
+					filepath.Join(*telDir, id+".folded"))
 			}
 		}
 		if *tlDir != "" {
-			if err := writeTimeline(*tlDir, selected[i].ID, rec); err != nil {
-				fmt.Fprintf(os.Stderr, "sorabench: timeline for %s: %v\n", selected[i].ID, err)
+			if err := writeTimeline(*tlDir, id, rec); err != nil {
+				fmt.Fprintf(os.Stderr, "sorabench: timeline for %s: %v\n", id, err)
 				if firstErr == nil {
 					firstErr = err
 				}
+			} else {
+				written = append(written, filepath.Join(*tlDir, id+".timeline.jsonl"))
+			}
+		}
+		// The manifest goes next to the telemetry artifacts (timeline dir
+		// when that's all we have) and digests everything just written.
+		manDir := *telDir
+		if manDir == "" {
+			manDir = *tlDir
+		}
+		if err := writeExpManifest(manDir, id, *seed, *scale, rec, written); err != nil {
+			fmt.Fprintf(os.Stderr, "sorabench: manifest for %s: %v\n", id, err)
+			if firstErr == nil {
+				firstErr = err
 			}
 		}
 	}
@@ -283,6 +328,136 @@ func runBenchSuite(path, label, note string, quick bool) error {
 		return err
 	}
 	fmt.Printf("recorded entry %q in %s (%d entries)\n", label, path, len(report.Entries))
+	return nil
+}
+
+// writeExpManifest digests one experiment's freshly written artifacts
+// into <id>.manifest.json next to them — the soradiff input (see
+// DESIGN.md §15). Parallelism is deliberately absent from the params:
+// artifacts are byte-identical at any -parallel setting, and the
+// manifest must be too.
+func writeExpManifest(dir, id string, seed uint64, scale float64, rec *telemetry.Recorder, files []string) error {
+	if dir == "" || len(files) == 0 {
+		return nil
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return err
+	}
+	absFiles := make([]string, 0, len(files))
+	for _, f := range files {
+		a, err := filepath.Abs(f)
+		if err != nil {
+			return err
+		}
+		absFiles = append(absFiles, a)
+	}
+	var counters []compare.KV
+	for _, m := range rec.CounterTotals() {
+		if strings.Contains(m.Name, "_bucket{") {
+			// Histogram buckets live in the .metrics.prom artifact (and
+			// its digest); the manifest surfaces only the closing totals.
+			continue
+		}
+		counters = append(counters, compare.Num(m.Name, m.Value))
+	}
+	params := []compare.KV{
+		compare.Str("exp", id),
+		compare.Num("scale", scale),
+	}
+	m, err := compare.BuildManifest(abs, id, "sorabench", int64(seed), params, counters, absFiles)
+	if err != nil {
+		return err
+	}
+	_, err = compare.WriteManifest(abs, m)
+	return err
+}
+
+// runBaselineCheck replays the pinned regression-sentinel suite
+// (experiment.RunBaselineSuite) and checks — or, with update, rewrites
+// — the baseline file at path. Quick mode gates only the deterministic
+// "sim" metrics so CI noise can never fail the build; the full check
+// also replays the kernel micro-benchmarks to cover allocation counts
+// and event throughput with loose tolerances.
+func runBaselineCheck(path string, workers int, quick, update bool) error {
+	samples, err := experiment.RunBaselineSuite(workers)
+	if err != nil {
+		return err
+	}
+	got := make(map[string]float64, len(samples))
+	for _, s := range samples {
+		got[s.Name] = s.Value
+	}
+	var benchResults []bench.Result
+	if !quick {
+		benchResults = bench.Run()
+		for _, r := range benchResults {
+			got["bench/"+r.Name+"/allocs_per_op"] = float64(r.AllocsPerOp)
+			if r.EventsPerSec > 0 {
+				got["bench/"+r.Name+"/events_per_s"] = r.EventsPerSec
+			}
+		}
+	}
+	if update {
+		b := &compare.Baseline{Schema: compare.BaselineSchema}
+		for _, s := range samples {
+			e := compare.BaselineEntry{
+				Name: s.Name, Value: s.Value, Kind: compare.KindSim,
+				// Sim metrics are exactly reproducible, but leave headroom
+				// for deliberate algorithm changes to land with a baseline
+				// refresh rather than a red build on unrelated branches.
+				Tolerance: 0.02, Direction: "higher",
+			}
+			if strings.HasSuffix(s.Name, "p99_ms") {
+				e.Tolerance, e.Direction = 0.05, "lower"
+			}
+			b.Entries = append(b.Entries, e)
+		}
+		for _, r := range benchResults {
+			b.Entries = append(b.Entries, compare.BaselineEntry{
+				Name:  "bench/" + r.Name + "/allocs_per_op",
+				Value: float64(r.AllocsPerOp), Tolerance: 0.10,
+				Direction: "lower", Kind: compare.KindAlloc,
+			})
+			if r.EventsPerSec > 0 {
+				b.Entries = append(b.Entries, compare.BaselineEntry{
+					Name:  "bench/" + r.Name + "/events_per_s",
+					Value: r.EventsPerSec, Tolerance: 0.50,
+					Direction: "higher", Kind: compare.KindTiming,
+				})
+			}
+		}
+		if err := compare.WriteBaseline(path, b); err != nil {
+			return err
+		}
+		fmt.Printf("baseline updated: %d entries written to %s\n", len(b.Entries), path)
+		return nil
+	}
+	b, err := compare.LoadBaseline(path)
+	if err != nil {
+		return err
+	}
+	violations, missing := b.Check(got, quick)
+	checked := 0
+	for _, e := range b.Entries {
+		if !quick || e.Kind == compare.KindSim {
+			checked++
+		}
+	}
+	for _, m := range missing {
+		fmt.Printf("MISSING  %s: baseline entry not produced by this run\n", m)
+	}
+	for _, v := range violations {
+		fmt.Printf("REGRESS  %s\n", v)
+	}
+	if n := len(violations) + len(missing); n > 0 {
+		return fmt.Errorf("baseline %s: %d of %d checks failed", path, n, checked)
+	}
+	mode := "full"
+	if quick {
+		mode = "quick"
+	}
+	fmt.Printf("baseline %s: %d metrics within tolerance (%s mode)\n", path, checked, mode)
 	return nil
 }
 

@@ -1,0 +1,99 @@
+// Command soradiff compares two simulation runs and reports where they
+// diverge: per-window latency-quantile deltas, goodput-split shifts,
+// per-service knob (replica / pool-size) divergence, phase-blame diffs
+// from the folded profiles, and the first controller decision where the
+// two runs stopped agreeing — rendered side by side. See DESIGN.md §15.
+//
+// Usage:
+//
+//	soradiff runA.manifest.json runB.manifest.json
+//	soradiff -format html -o diff.html sora.manifest.json auto.manifest.json
+//	soradiff -a-unit sockshop/sora -b-unit sockshop/auto chaos.timeline.jsonl chaos.timeline.jsonl
+//
+// Inputs are run manifests (written by `simrun -manifest` or
+// `sorabench`) or raw *.timeline.jsonl files. Manifest inputs resolve
+// their timeline and folded artifacts by digest-checked reference —
+// soradiff refuses to diff artifacts that were modified since the run
+// (-no-verify overrides). When a timeline holds several units (the
+// chaos experiment's app × strategy grid), -a-unit/-b-unit select one
+// by path substring; with a single unit they can be omitted. The two
+// sides may come from the same file, which is how one chaos run diffs
+// its own strategies against each other.
+//
+// Reports are deterministic: identical input bytes produce identical
+// text, JSON and HTML output, regardless of how the runs were produced
+// (serial or parallel) — which is what lets the golden tests pin the
+// renderer and lets reports be diffed themselves.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sora/internal/compare"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "soradiff:", err)
+		os.Exit(1)
+	}
+}
+
+func run(argv []string, stdout *os.File) error {
+	fs := flag.NewFlagSet("soradiff", flag.ContinueOnError)
+	var (
+		aUnit    = fs.String("a-unit", "", "unit selector (path substring) for side A when the timeline holds several units")
+		bUnit    = fs.String("b-unit", "", "unit selector for side B")
+		aFolded  = fs.String("a-folded", "", "folded profile for side A (overrides the manifest's .folded artifact)")
+		bFolded  = fs.String("b-folded", "", "folded profile for side B")
+		labelA   = fs.String("label-a", "", "display label for side A (default: manifest id or file name)")
+		labelB   = fs.String("label-b", "", "display label for side B")
+		format   = fs.String("format", "text", "report format: text | json | html")
+		out      = fs.String("o", "", "write the report to FILE (default stdout)")
+		noVerify = fs.Bool("no-verify", false, "skip artifact digest verification for manifest inputs")
+	)
+	if err := fs.Parse(argv); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("need exactly two inputs (manifest or timeline files), got %d", fs.NArg())
+	}
+	sideA, sideB, err := compare.LoadSides(
+		compare.SideOptions{Path: fs.Arg(0), Label: *labelA, Folded: *aFolded, Verify: !*noVerify},
+		compare.SideOptions{Path: fs.Arg(1), Label: *labelB, Folded: *bFolded, Verify: !*noVerify},
+	)
+	if err != nil {
+		return err
+	}
+	unitA, err := sideA.Run.SelectUnit(*aUnit)
+	if err != nil {
+		return fmt.Errorf("side A: %w", err)
+	}
+	unitB, err := sideB.Run.SelectUnit(*bUnit)
+	if err != nil {
+		return fmt.Errorf("side B: %w", err)
+	}
+	res := compare.Compare(unitA, unitB, sideA.Folded, sideB.Folded, sideA.Label, sideB.Label)
+
+	w := stdout
+	if *out != "" {
+		f, cerr := os.Create(*out)
+		if cerr != nil {
+			return cerr
+		}
+		defer f.Close()
+		w = f
+	}
+	switch *format {
+	case "text":
+		return compare.WriteText(w, res)
+	case "json":
+		return compare.WriteJSON(w, res)
+	case "html":
+		return compare.WriteHTML(w, res)
+	default:
+		return fmt.Errorf("unknown -format %q (want text, json or html)", *format)
+	}
+}

@@ -1,0 +1,154 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The fixtures under testdata/ are three pinned simrun invocations
+// (see scripts/mkdiff-fixture.sh): Sora vs autoscaler under the same
+// seed and combo fault plan, plus a Sora run under the clamp plan.
+// They are fully deterministic, so the reports golden-pin the whole
+// pipeline: manifest verification, timeline parsing, window alignment,
+// sketch-merged quantiles, phase-blame diffing and decision-divergence
+// location.
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// render runs the soradiff CLI with -o into a temp file and returns
+// the produced report.
+func render(t *testing.T, args ...string) []byte {
+	t.Helper()
+	out := filepath.Join(t.TempDir(), "report")
+	argv := append([]string{"-o", out}, args...)
+	if err := run(argv, os.Stdout); err != nil {
+		t.Fatalf("soradiff %v: %v", args, err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./cmd/soradiff -update` to create the goldens)", err)
+	}
+	if !bytes.Equal(got, want) {
+		gl, wl := strings.Split(string(got), "\n"), strings.Split(string(want), "\n")
+		for i := 0; i < len(gl) && i < len(wl); i++ {
+			if gl[i] != wl[i] {
+				t.Fatalf("%s differs at line %d:\ngot:  %s\nwant: %s\n(re-run with -update after intended changes)",
+					name, i+1, gl[i], wl[i])
+			}
+		}
+		t.Fatalf("%s differs in length: got %d lines, want %d (re-run with -update after intended changes)",
+			name, len(gl), len(wl))
+	}
+}
+
+func TestGoldenReports(t *testing.T) {
+	sora := filepath.Join("testdata", "sora_combo.manifest.json")
+	auto := filepath.Join("testdata", "auto_combo.manifest.json")
+	clamp := filepath.Join("testdata", "sora_clamp.manifest.json")
+	checkGolden(t, "diff_sora_auto.txt.golden", render(t, sora, auto))
+	checkGolden(t, "diff_sora_auto.json.golden", render(t, "-format", "json", sora, auto))
+	checkGolden(t, "diff_sora_auto.html.golden", render(t, "-format", "html", sora, auto))
+	checkGolden(t, "diff_combo_clamp.txt.golden", render(t, clamp, sora))
+}
+
+// TestReportContent spot-checks the semantic payload of the canonical
+// diff so the golden files cannot silently pin a degenerate report.
+func TestReportContent(t *testing.T) {
+	text := string(render(t,
+		filepath.Join("testdata", "sora_combo.manifest.json"),
+		filepath.Join("testdata", "auto_combo.manifest.json")))
+	for _, want := range []string{
+		"windows: 18 aligned (window 5s)",
+		"strategy=sora",
+		"strategy=autoscaler",
+		"service knob divergence",
+		"phase blame diff",
+		"first divergence at decision #0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("report lacks %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestDeterministicOutput pins the CLI-level guarantee: rendering the
+// same inputs twice produces identical bytes.
+func TestDeterministicOutput(t *testing.T) {
+	a := filepath.Join("testdata", "sora_combo.manifest.json")
+	b := filepath.Join("testdata", "auto_combo.manifest.json")
+	for _, format := range []string{"text", "json", "html"} {
+		first := render(t, "-format", format, a, b)
+		second := render(t, "-format", format, a, b)
+		if !bytes.Equal(first, second) {
+			t.Fatalf("%s report not deterministic", format)
+		}
+	}
+}
+
+// TestVerifyRefusesTamperedArtifact: a manifest input digs up its
+// artifacts by digest, so a modified timeline must fail loudly — and
+// -no-verify must override.
+func TestVerifyRefusesTamperedArtifact(t *testing.T) {
+	dir := t.TempDir()
+	for _, f := range []string{"sora_combo.manifest.json", "sora_combo.timeline.jsonl", "sora_combo.folded",
+		"auto_combo.manifest.json", "auto_combo.timeline.jsonl", "auto_combo.folded"} {
+		data, err := os.ReadFile(filepath.Join("testdata", f))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, f), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tl := filepath.Join(dir, "sora_combo.timeline.jsonl")
+	data, err := os.ReadFile(tl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(tl, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	a := filepath.Join(dir, "sora_combo.manifest.json")
+	b := filepath.Join(dir, "auto_combo.manifest.json")
+	out := filepath.Join(t.TempDir(), "report")
+	err = run([]string{"-o", out, a, b}, os.Stdout)
+	if err == nil || !strings.Contains(err.Error(), "digest") {
+		t.Fatalf("tampered artifact: err = %v, want digest mismatch", err)
+	}
+	if err := run([]string{"-o", out, "-no-verify", a, b}, os.Stdout); err != nil {
+		t.Fatalf("-no-verify should override: %v", err)
+	}
+}
+
+// TestRawTimelineInputs: soradiff accepts bare timelines with no
+// manifest at all (and explicit folded profiles).
+func TestRawTimelineInputs(t *testing.T) {
+	text := string(render(t,
+		"-a-folded", filepath.Join("testdata", "sora_combo.folded"),
+		"-b-folded", filepath.Join("testdata", "auto_combo.folded"),
+		filepath.Join("testdata", "sora_combo.timeline.jsonl"),
+		filepath.Join("testdata", "auto_combo.timeline.jsonl")))
+	if !strings.Contains(text, "windows: 18 aligned") || !strings.Contains(text, "phase blame diff") {
+		t.Fatalf("raw-timeline report incomplete:\n%s", text)
+	}
+}

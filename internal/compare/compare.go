@@ -1,0 +1,347 @@
+package compare
+
+import (
+	"sort"
+	"strings"
+	"time"
+
+	"sora/internal/profile"
+	"sora/internal/stats"
+)
+
+// This file is the delta engine: given two selected units (and
+// optionally two folded profiles), align their windows on virtual
+// time, compute quantile and goodput deltas, locate knob divergence
+// per service, diff phase blame, and find the first control interval
+// where the controller.decision audits disagree.
+
+// Result is the full comparison, JSON-encodable with no maps so the
+// encoding is deterministic.
+type Result struct {
+	LabelA    string `json:"label_a"`
+	LabelB    string `json:"label_b"`
+	UnitA     string `json:"unit_a"`
+	UnitB     string `json:"unit_b"`
+	IdentityA []KV   `json:"identity_a,omitempty"`
+	IdentityB []KV   `json:"identity_b,omitempty"`
+
+	WindowSec  float64       `json:"window_s"`
+	Aligned    []WindowDelta `json:"windows"`
+	UnmatchedA int           `json:"unmatched_a"`
+	UnmatchedB int           `json:"unmatched_b"`
+
+	SummaryA QuantSummary `json:"summary_a"`
+	SummaryB QuantSummary `json:"summary_b"`
+	GoodputA GoodputSplit `json:"goodput_a"`
+	GoodputB GoodputSplit `json:"goodput_b"`
+
+	Services []ServiceDivergence `json:"services,omitempty"`
+	Phases   []PhaseDelta        `json:"phases,omitempty"`
+
+	DecisionsA int                 `json:"decisions_a"`
+	DecisionsB int                 `json:"decisions_b"`
+	Divergence *DecisionDivergence `json:"divergence,omitempty"`
+}
+
+// QuantSummary is one side's distribution of windowed p99 samples:
+// every per-service timeline.window p99 plus every timeline.cluster
+// e2e p99, sketched per stream and folded together with
+// stats.Sketch.Merge (the merge is exact — integer bucket adds — so
+// the summary is independent of merge order).
+type QuantSummary struct {
+	Count uint64  `json:"count"`
+	P50   float64 `json:"p50_ms"`
+	P95   float64 `json:"p95_ms"`
+	P99   float64 `json:"p99_ms"`
+}
+
+// GoodputSplit is one side's SLO outcome totals over the aligned span.
+type GoodputSplit struct {
+	Good         int64   `json:"good"`
+	Degraded     int64   `json:"degraded"`
+	Violated     int64   `json:"violated"`
+	GoodFrac     float64 `json:"good_frac"`
+	DegradedFrac float64 `json:"degraded_frac"`
+	ViolatedFrac float64 `json:"violated_frac"`
+}
+
+// WindowDelta is one virtual-time-aligned window pair.
+type WindowDelta struct {
+	TUs   int64   `json:"t_us"`
+	P50A  float64 `json:"p50_a_ms"`
+	P50B  float64 `json:"p50_b_ms"`
+	P95A  float64 `json:"p95_a_ms"`
+	P95B  float64 `json:"p95_b_ms"`
+	P99A  float64 `json:"p99_a_ms"`
+	P99B  float64 `json:"p99_b_ms"`
+	GoodA int64   `json:"good_a"`
+	GoodB int64   `json:"good_b"`
+	DegrA int64   `json:"degraded_a"`
+	DegrB int64   `json:"degraded_b"`
+	ViolA int64   `json:"violated_a"`
+	ViolB int64   `json:"violated_b"`
+}
+
+// ServiceDivergence summarizes where a service's runtime knobs
+// (replica count, pool size) differ between the two runs.
+type ServiceDivergence struct {
+	Service         string `json:"service"`
+	Windows         int    `json:"windows"`
+	FirstReplicaTUs int64  `json:"first_replica_t_us"` // -1: never diverged
+	FirstPoolTUs    int64  `json:"first_pool_t_us"`
+	MaxReplicaDelta int64  `json:"max_replica_delta"` // B - A at peak |delta|
+	MaxPoolDelta    int64  `json:"max_pool_delta"`
+}
+
+// PhaseDelta is one row of the phase-blame diff: total blamed
+// microseconds for one latency phase on each side.
+type PhaseDelta struct {
+	Phase   string `json:"phase"`
+	AUs     int64  `json:"a_us"`
+	BUs     int64  `json:"b_us"`
+	DeltaUs int64  `json:"delta_us"`
+}
+
+// DecisionDivergence is the first control interval where the two
+// decision audit streams disagree — different time, different
+// attributes, or one stream exhausted.
+type DecisionDivergence struct {
+	Index  int   `json:"index"`
+	TUsA   int64 `json:"t_us_a"` // -1: that side has no decision at Index
+	TUsB   int64 `json:"t_us_b"`
+	AttrsA []KV  `json:"attrs_a,omitempty"`
+	AttrsB []KV  `json:"attrs_b,omitempty"`
+}
+
+// Compare aligns unit b against unit a and computes every delta. The
+// folded slices are optional phase-blame profiles (nil skips the phase
+// diff).
+func Compare(a, b *Unit, foldedA, foldedB []profile.FoldedLine, labelA, labelB string) *Result {
+	res := &Result{
+		LabelA: labelA, LabelB: labelB,
+		UnitA: a.Path, UnitB: b.Path,
+		IdentityA: a.Identity, IdentityB: b.Identity,
+		DecisionsA: len(a.Decisions), DecisionsB: len(b.Decisions),
+	}
+	if len(a.Cluster) > 0 {
+		res.WindowSec = a.Cluster[0].WinS
+	} else if len(b.Cluster) > 0 {
+		res.WindowSec = b.Cluster[0].WinS
+	}
+
+	// Window alignment on exact virtual end time. Same seed + same
+	// window length means matching t_us; anything unmatched (e.g. one
+	// run ended early) is counted, not silently dropped.
+	bByT := make(map[int64]ClusterWindow, len(b.Cluster))
+	for _, w := range b.Cluster {
+		bByT[w.TUs] = w
+	}
+	matchedB := make(map[int64]bool, len(b.Cluster))
+	for _, wa := range a.Cluster {
+		wb, ok := bByT[wa.TUs]
+		if !ok {
+			res.UnmatchedA++
+			continue
+		}
+		matchedB[wa.TUs] = true
+		res.Aligned = append(res.Aligned, WindowDelta{
+			TUs:  wa.TUs,
+			P50A: wa.P50, P50B: wb.P50,
+			P95A: wa.P95, P95B: wb.P95,
+			P99A: wa.P99, P99B: wb.P99,
+			GoodA: wa.Good, GoodB: wb.Good,
+			DegrA: wa.Degr, DegrB: wb.Degr,
+			ViolA: wa.Viol, ViolB: wb.Viol,
+		})
+	}
+	res.UnmatchedB = len(b.Cluster) - len(matchedB)
+
+	res.SummaryA = summarize(a)
+	res.SummaryB = summarize(b)
+	res.GoodputA = goodput(a.Cluster)
+	res.GoodputB = goodput(b.Cluster)
+	res.Services = serviceDivergence(a, b)
+	if foldedA != nil || foldedB != nil {
+		res.Phases = phaseDiff(foldedA, foldedB)
+	}
+	res.Divergence = firstDivergence(a.Decisions, b.Decisions)
+	return res
+}
+
+// summarize sketches each windowed-p99 stream of the unit (one sketch
+// per service plus one for the cluster rows) and merges them. The
+// merge can only fail on mismatched sketch configuration, which cannot
+// happen here (all sketches share the default alpha), so errors are
+// impossible by construction — but the path still exercises the
+// hardened Merge.
+func summarize(u *Unit) QuantSummary {
+	total := stats.NewSketch(0)
+	cluster := stats.NewSketch(0)
+	for _, w := range u.Cluster {
+		cluster.Observe(w.P99)
+	}
+	total.Merge(cluster)
+	for _, svc := range u.Services {
+		sk := stats.NewSketch(0)
+		for _, w := range u.SvcRows[svc] {
+			sk.Observe(w.P99)
+		}
+		total.Merge(sk)
+	}
+	return QuantSummary{
+		Count: total.Count(),
+		P50:   total.QuantileOr(50, 0),
+		P95:   total.QuantileOr(95, 0),
+		P99:   total.QuantileOr(99, 0),
+	}
+}
+
+// goodput totals the SLO outcome split across all cluster windows.
+func goodput(ws []ClusterWindow) GoodputSplit {
+	var g GoodputSplit
+	for _, w := range ws {
+		g.Good += w.Good
+		g.Degraded += w.Degr
+		g.Violated += w.Viol
+	}
+	if n := g.Good + g.Degraded + g.Violated; n > 0 {
+		g.GoodFrac = float64(g.Good) / float64(n)
+		g.DegradedFrac = float64(g.Degraded) / float64(n)
+		g.ViolatedFrac = float64(g.Violated) / float64(n)
+	}
+	return g
+}
+
+// serviceDivergence walks the services both sides report (A's order,
+// then B-only ones) and finds where replica counts and pool sizes
+// first diverged and by how much at most.
+func serviceDivergence(a, b *Unit) []ServiceDivergence {
+	var order []string
+	seen := map[string]bool{}
+	for _, s := range a.Services {
+		if _, ok := b.SvcRows[s]; ok {
+			order = append(order, s)
+			seen[s] = true
+		}
+	}
+	var out []ServiceDivergence
+	for _, svc := range order {
+		rowsA, rowsB := a.SvcRows[svc], b.SvcRows[svc]
+		byT := make(map[int64]SvcWindow, len(rowsB))
+		for _, w := range rowsB {
+			byT[w.TUs] = w
+		}
+		d := ServiceDivergence{Service: svc, FirstReplicaTUs: -1, FirstPoolTUs: -1}
+		for _, wa := range rowsA {
+			wb, ok := byT[wa.TUs]
+			if !ok {
+				continue
+			}
+			d.Windows++
+			if dr := wb.Replicas - wa.Replicas; dr != 0 {
+				if d.FirstReplicaTUs < 0 {
+					d.FirstReplicaTUs = wa.TUs
+				}
+				if abs64(dr) > abs64(d.MaxReplicaDelta) {
+					d.MaxReplicaDelta = dr
+				}
+			}
+			if dp := wb.PoolSize - wa.PoolSize; dp != 0 {
+				if d.FirstPoolTUs < 0 {
+					d.FirstPoolTUs = wa.TUs
+				}
+				if abs64(dp) > abs64(d.MaxPoolDelta) {
+					d.MaxPoolDelta = dp
+				}
+			}
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// phaseDiff aggregates each side's folded stacks by their innermost
+// frame (the blamed phase) and diffs the totals. Rows sort by |delta|
+// descending, then phase name, so the biggest mover — the phase that
+// "gained latency" — leads the report.
+func phaseDiff(a, b []profile.FoldedLine) []PhaseDelta {
+	sum := func(lines []profile.FoldedLine) (map[string]int64, []string) {
+		m := map[string]int64{}
+		var order []string
+		for _, l := range lines {
+			phase := l.Stack
+			if i := strings.LastIndexByte(phase, ';'); i >= 0 {
+				phase = phase[i+1:]
+			}
+			if _, ok := m[phase]; !ok {
+				order = append(order, phase)
+			}
+			m[phase] += int64(l.Dur / time.Microsecond)
+		}
+		return m, order
+	}
+	ma, orderA := sum(a)
+	mb, orderB := sum(b)
+	var phases []string
+	seen := map[string]bool{}
+	for _, p := range append(orderA, orderB...) {
+		if !seen[p] {
+			seen[p] = true
+			phases = append(phases, p)
+		}
+	}
+	out := make([]PhaseDelta, 0, len(phases))
+	for _, p := range phases {
+		out = append(out, PhaseDelta{Phase: p, AUs: ma[p], BUs: mb[p], DeltaUs: mb[p] - ma[p]})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		di, dj := abs64(out[i].DeltaUs), abs64(out[j].DeltaUs)
+		if di != dj {
+			return di > dj
+		}
+		return out[i].Phase < out[j].Phase
+	})
+	return out
+}
+
+// firstDivergence finds the earliest index where the two decision
+// streams disagree — in time or in any attribute — or where one stream
+// ends while the other continues. Returns nil when the streams are
+// identical (including both empty).
+func firstDivergence(a, b []Decision) *DecisionDivergence {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if !decisionEqual(a[i], b[i]) {
+			return &DecisionDivergence{Index: i, TUsA: a[i].TUs, TUsB: b[i].TUs, AttrsA: a[i].Attrs, AttrsB: b[i].Attrs}
+		}
+	}
+	switch {
+	case len(a) > n:
+		return &DecisionDivergence{Index: n, TUsA: a[n].TUs, TUsB: -1, AttrsA: a[n].Attrs}
+	case len(b) > n:
+		return &DecisionDivergence{Index: n, TUsA: -1, TUsB: b[n].TUs, AttrsB: b[n].Attrs}
+	}
+	return nil
+}
+
+func decisionEqual(a, b Decision) bool {
+	if a.TUs != b.TUs || len(a.Attrs) != len(b.Attrs) {
+		return false
+	}
+	for i := range a.Attrs {
+		if a.Attrs[i] != b.Attrs[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,108 @@
+package compare
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"sora/internal/profile"
+)
+
+// Side is one fully loaded run: its manifest (when the input was a
+// manifest), parsed timeline, and optional folded phase profile.
+type Side struct {
+	Label    string
+	Manifest *Manifest
+	Run      *Run
+	Folded   []profile.FoldedLine
+}
+
+// SideOptions configures loading one side.
+type SideOptions struct {
+	Path   string // *.manifest.json or *.timeline.jsonl
+	Label  string // display label; defaults to the manifest ID or file base name
+	Folded string // explicit folded profile path; overrides the manifest's
+	Verify bool   // recompute artifact digests against the manifest
+}
+
+// LoadSide loads one run. A manifest input resolves the timeline and
+// folded artifacts by suffix relative to the manifest's directory and
+// (optionally) verifies every artifact digest; a raw timeline input
+// skips manifests entirely.
+func LoadSide(opt SideOptions) (*Side, error) {
+	s := &Side{Label: opt.Label}
+	timelinePath := opt.Path
+	if strings.HasSuffix(opt.Path, ".manifest.json") {
+		m, err := LoadManifest(opt.Path)
+		if err != nil {
+			return nil, err
+		}
+		dir := filepath.Dir(opt.Path)
+		if opt.Verify {
+			if err := m.Verify(dir); err != nil {
+				return nil, err
+			}
+		}
+		s.Manifest = m
+		if s.Label == "" {
+			s.Label = m.ID
+		}
+		name := m.ArtifactBySuffix(".timeline.jsonl")
+		if name == "" {
+			return nil, fmt.Errorf("compare: manifest %s lists no timeline artifact (run with -timeline)", m.ID)
+		}
+		timelinePath = filepath.Join(dir, filepath.FromSlash(name))
+		if opt.Folded == "" {
+			if fname := m.ArtifactBySuffix(".folded"); fname != "" {
+				opt.Folded = filepath.Join(dir, filepath.FromSlash(fname))
+			}
+		}
+	}
+	if s.Label == "" {
+		base := filepath.Base(timelinePath)
+		s.Label = strings.TrimSuffix(base, ".timeline.jsonl")
+	}
+	run, err := LoadTimeline(timelinePath)
+	if err != nil {
+		return nil, err
+	}
+	s.Run = run
+	if opt.Folded != "" {
+		f, err := os.Open(opt.Folded)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		lines, err := profile.ReadFolded(f)
+		if err != nil {
+			return nil, err
+		}
+		s.Folded = lines
+	}
+	return s, nil
+}
+
+// LoadSides loads both runs concurrently — manifest parsing, digest
+// verification and timeline decoding are independent per side, and on
+// real chaos artifacts the I/O dominates. The goroutines share nothing
+// but the result slots.
+func LoadSides(a, b SideOptions) (*Side, *Side, error) {
+	var sides [2]*Side
+	var errs [2]error
+	done := make(chan int, 2)
+	for i, opt := range [2]SideOptions{a, b} {
+		go func(i int, opt SideOptions) {
+			sides[i], errs[i] = LoadSide(opt)
+			done <- i
+		}(i, opt)
+	}
+	<-done
+	<-done
+	for i, err := range errs {
+		if err != nil {
+			return nil, nil, fmt.Errorf("side %c: %w", 'A'+i, err)
+		}
+	}
+	return sides[0], sides[1], nil
+}

@@ -1,0 +1,280 @@
+package compare
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// This file parses *.timeline.jsonl artifacts (telemetry.WriteTimeline
+// output) into a comparable model. Like cmd/soradash, lines are decoded
+// with a token scanner rather than Unmarshal: fault lines carry two
+// "kind" keys (envelope + fault kind) and map decoding would keep the
+// wrong one. Unlike soradash, attribute values are kept byte-faithful
+// (json.Number, original order) so decision divergences can be rendered
+// exactly as the run recorded them.
+
+// Run is one parsed timeline artifact.
+type Run struct {
+	Path  string  `json:"path"`
+	Units []*Unit `json:"units"`
+}
+
+// Unit is the slice of one recorder-tree node's timeline rows.
+type Unit struct {
+	Path      string                 `json:"path"`
+	Identity  []KV                   `json:"identity,omitempty"` // attrs of the run.manifest event, if present
+	Cluster   []ClusterWindow        `json:"-"`
+	Services  []string               `json:"-"` // first-seen order
+	SvcRows   map[string][]SvcWindow `json:"-"`
+	Decisions []Decision             `json:"-"`
+	Faults    []Fault                `json:"-"`
+}
+
+// ClusterWindow is one timeline.cluster row (TUs marks window end).
+type ClusterWindow struct {
+	TUs                    int64
+	WinS                   float64
+	P50, P95, P99          float64
+	SpanP99                float64
+	Good, Degr, Viol       int64
+	Completed, Dropped     int64
+	Failed, Refused        int64
+	Retries, Rejected      int64
+	Timedout, Lost         int64
+	Inflight, BreakersOpen int64
+}
+
+// SvcWindow is one timeline.window row for a single service.
+type SvcWindow struct {
+	TUs                int64
+	P50, P95, P99      float64
+	Arrivals           int64
+	Completions, Drops int64
+	Queue, Conc        int64
+	Replicas           int64
+	Pool               string
+	PoolSize, PoolUsed int64
+	Util               float64
+}
+
+// Decision is one controller.decision audit event with its attributes
+// in publish order, values byte-faithful to the artifact.
+type Decision struct {
+	TUs   int64 `json:"t_us"`
+	Attrs []KV  `json:"attrs"`
+}
+
+// Fault is one fault.inject / fault.recover annotation.
+type Fault struct {
+	TUs     int64
+	Recover bool
+	Attrs   []KV
+}
+
+// rawEvent is one decoded timeline line.
+type rawEvent struct {
+	tUs   int64
+	unit  string
+	kind  string
+	attrs []KV
+}
+
+// attr returns the named attribute value or "".
+func (e *rawEvent) attr(key string) string {
+	for _, kv := range e.attrs {
+		if kv.Key == key {
+			return kv.Value
+		}
+	}
+	return ""
+}
+
+func (e *rawEvent) num(key string) float64 {
+	v, _ := strconv.ParseFloat(e.attr(key), 64)
+	return v
+}
+
+func (e *rawEvent) i64(key string) int64 {
+	v, _ := strconv.ParseInt(e.attr(key), 10, 64)
+	return v
+}
+
+// renderToken converts one scalar JSON token into its KV string form:
+// numbers verbatim (json.Number preserves the artifact's bytes),
+// strings unquoted, booleans and null as literals.
+func renderToken(tok json.Token) string {
+	switch v := tok.(type) {
+	case json.Number:
+		return v.String()
+	case string:
+		return v
+	case bool:
+		if v {
+			return "true"
+		}
+		return "false"
+	case nil:
+		return "null"
+	default:
+		return fmt.Sprint(v)
+	}
+}
+
+// parseLine decodes one timeline JSONL line.
+func parseLine(line string) (*rawEvent, error) {
+	dec := json.NewDecoder(strings.NewReader(line))
+	dec.UseNumber()
+	tok, err := dec.Token()
+	if err != nil {
+		return nil, err
+	}
+	if d, ok := tok.(json.Delim); !ok || d != '{' {
+		return nil, fmt.Errorf("line is not a JSON object")
+	}
+	ev := &rawEvent{}
+	for dec.More() {
+		keyTok, err := dec.Token()
+		if err != nil {
+			return nil, err
+		}
+		key, ok := keyTok.(string)
+		if !ok {
+			return nil, fmt.Errorf("non-string key %v", keyTok)
+		}
+		valTok, err := dec.Token()
+		if err != nil {
+			return nil, err
+		}
+		if _, nested := valTok.(json.Delim); nested {
+			return nil, fmt.Errorf("attribute %q is not a scalar", key)
+		}
+		switch key {
+		case "t_us":
+			if n, ok := valTok.(json.Number); ok {
+				ev.tUs, _ = n.Int64()
+			}
+		case "unit":
+			ev.unit, _ = valTok.(string)
+		case "kind":
+			if ev.kind == "" {
+				ev.kind, _ = valTok.(string)
+				continue
+			}
+			// Fault lines: the second "kind" key is the fault kind;
+			// keep it as an ordered attribute.
+			fallthrough
+		default:
+			ev.attrs = append(ev.attrs, KV{Key: key, Value: renderToken(valTok)})
+		}
+	}
+	return ev, nil
+}
+
+// ParseTimeline parses raw timeline JSONL content into a Run. Units
+// appear in first-seen order, which the recorder's deterministic walk
+// makes stable.
+func ParseTimeline(path, raw string) (*Run, error) {
+	run := &Run{Path: path}
+	byUnit := map[string]*Unit{}
+	unitOf := func(p string) *Unit {
+		u, ok := byUnit[p]
+		if !ok {
+			u = &Unit{Path: p, SvcRows: map[string][]SvcWindow{}}
+			byUnit[p] = u
+			run.Units = append(run.Units, u)
+		}
+		return u
+	}
+	for i, line := range strings.Split(raw, "\n") {
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		ev, err := parseLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("compare: %s line %d: %w", path, i+1, err)
+		}
+		u := unitOf(ev.unit)
+		switch ev.kind {
+		case "run.manifest":
+			u.Identity = ev.attrs
+		case "timeline.cluster":
+			u.Cluster = append(u.Cluster, ClusterWindow{
+				TUs: ev.tUs, WinS: ev.num("win_s"),
+				P50: ev.num("p50_ms"), P95: ev.num("p95_ms"), P99: ev.num("p99_ms"),
+				SpanP99: ev.num("span_p99_ms"),
+				Good:    ev.i64("good"), Degr: ev.i64("degraded"), Viol: ev.i64("violated"),
+				Completed: ev.i64("completed"), Dropped: ev.i64("dropped"),
+				Failed: ev.i64("failed"), Refused: ev.i64("refused"),
+				Retries: ev.i64("retries"), Rejected: ev.i64("rejected"),
+				Timedout: ev.i64("timedout"), Lost: ev.i64("lost"),
+				Inflight: ev.i64("inflight"), BreakersOpen: ev.i64("breakers_open"),
+			})
+		case "timeline.window":
+			svc := ev.attr("service")
+			if svc == "" {
+				continue
+			}
+			if _, seen := u.SvcRows[svc]; !seen {
+				u.Services = append(u.Services, svc)
+			}
+			u.SvcRows[svc] = append(u.SvcRows[svc], SvcWindow{
+				TUs: ev.tUs,
+				P50: ev.num("p50_ms"), P95: ev.num("p95_ms"), P99: ev.num("p99_ms"),
+				Arrivals: ev.i64("arrivals"), Completions: ev.i64("completions"),
+				Drops: ev.i64("drops"), Queue: ev.i64("queue"), Conc: ev.i64("conc"),
+				Replicas: ev.i64("replicas"), Pool: ev.attr("pool"),
+				PoolSize: ev.i64("pool_size"), PoolUsed: ev.i64("pool_used"),
+				Util: ev.num("util"),
+			})
+		case "controller.decision":
+			u.Decisions = append(u.Decisions, Decision{TUs: ev.tUs, Attrs: ev.attrs})
+		case "fault.inject", "fault.recover":
+			u.Faults = append(u.Faults, Fault{TUs: ev.tUs, Recover: ev.kind == "fault.recover", Attrs: ev.attrs})
+		}
+	}
+	return run, nil
+}
+
+// LoadTimeline reads and parses a timeline artifact from disk.
+func LoadTimeline(path string) (*Run, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return ParseTimeline(path, string(data))
+}
+
+// SelectUnit resolves a unit selector against the run: the selector is
+// a case-sensitive substring of the unit path, and must match exactly
+// one unit that carries cluster windows (the comparable ones). An
+// empty selector succeeds only when exactly one such unit exists.
+func (r *Run) SelectUnit(selector string) (*Unit, error) {
+	var matches []*Unit
+	var names []string
+	for _, u := range r.Units {
+		if len(u.Cluster) == 0 {
+			continue
+		}
+		names = append(names, u.Path)
+		if selector == "" || strings.Contains(u.Path, selector) {
+			matches = append(matches, u)
+		}
+	}
+	switch len(matches) {
+	case 1:
+		return matches[0], nil
+	case 0:
+		return nil, fmt.Errorf("compare: %s: no unit matches %q (units with windows: %s)",
+			r.Path, selector, strings.Join(names, ", "))
+	default:
+		var amb []string
+		for _, u := range matches {
+			amb = append(amb, u.Path)
+		}
+		return nil, fmt.Errorf("compare: %s: unit selector %q is ambiguous: %s",
+			r.Path, selector, strings.Join(amb, ", "))
+	}
+}

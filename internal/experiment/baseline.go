@@ -1,0 +1,73 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+)
+
+// The regression-sentinel scenario suite: a pinned set of chaos units
+// (fixed seed, minimum duration, combo fault plan) whose goodput and
+// p99 numbers are fully deterministic — same binary, same values, byte
+// for byte — and therefore checkable against BASELINE.json with tight
+// tolerances. The suite deliberately reuses runChaosUnit so it
+// measures the exact code path the chaos experiment ships, and it
+// covers both apps and both adaptive strategies so a regression in
+// either the SCG controller or the resilience layer trips it.
+
+// BaselineSample is one named metric produced by the suite. The names
+// are the contract with BASELINE.json: "chaos/<app>_<strategy>/<metric>".
+type BaselineSample struct {
+	Name  string
+	Value float64
+}
+
+// baselineScenarios pins the suite composition. Order is the report
+// order; adding a scenario means regenerating BASELINE.json
+// (sorabench -baseline BASELINE.json -baseline-update).
+var baselineScenarios = []struct {
+	app   string
+	strat chaosStrategy
+}{
+	{"sockshop", chaosSora},
+	{"sockshop", chaosAuto},
+	{"socialnet", chaosSora},
+}
+
+// RunBaselineSuite replays the pinned scenarios and returns their
+// deterministic metrics. Seed and duration scale are fixed here — they
+// are part of the baseline's identity, not a knob — and parallelism
+// must not matter (the suite rides on the serial-vs-parallel
+// equivalence guarantees of runChaosUnit).
+func RunBaselineSuite(parallelism int) ([]BaselineSample, error) {
+	p := Params{
+		Seed: 5,
+		// 90s per unit: long enough to clear the Sora controller's 30s
+		// warmup, so the adaptive strategies actually act and a
+		// controller regression changes the numbers. (At the 20s clamp
+		// floor, Sora and the autoscaler are indistinguishable.)
+		DurationScale: 0.5,
+		Quiet:         true,
+		Parallelism:   parallelism,
+	}
+	dur := p.scale(3 * time.Minute)
+	results, err := parMap(p, len(baselineScenarios), func(i int) (*chaosResult, error) {
+		sc := baselineScenarios[i]
+		res, rerr := runChaosUnit(p, sc.app, sc.strat, "combo", dur)
+		if rerr != nil {
+			return nil, fmt.Errorf("baseline %s/%v: %w", sc.app, sc.strat, rerr)
+		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []BaselineSample
+	for _, res := range results {
+		prefix := "chaos/" + res.app + "_" + sanitize(res.strategy.String()) + "/"
+		out = append(out,
+			BaselineSample{Name: prefix + "good_frac", Value: res.goodFrac},
+			BaselineSample{Name: prefix + "p99_ms", Value: res.p99.Seconds() * 1000},
+		)
+	}
+	return out, nil
+}

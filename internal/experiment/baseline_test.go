@@ -1,0 +1,35 @@
+package experiment
+
+import "testing"
+
+// TestBaselineSuiteDeterministic pins the property the regression
+// sentinel depends on: the pinned suite's metrics are identical
+// regardless of worker count, so BASELINE.json comparisons are exact
+// for "sim"-kind entries.
+func TestBaselineSuiteDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("baseline suite runs six minimum-length simulations; skipped in -short")
+	}
+	serial, err := RunBaselineSuite(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunBaselineSuite(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != 2*len(baselineScenarios) {
+		t.Fatalf("suite produced %d samples, want %d", len(serial), 2*len(baselineScenarios))
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("sample %d differs between parallelism 1 and 3: %+v vs %+v",
+				i, serial[i], parallel[i])
+		}
+	}
+	for _, s := range serial {
+		if s.Value < 0 {
+			t.Fatalf("negative metric %+v", s)
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"sora/internal/core"
 	"sora/internal/fault"
 	"sora/internal/sim"
+	"sora/internal/telemetry"
 	"sora/internal/topology"
 	"sora/internal/workload"
 )
@@ -83,17 +84,20 @@ type chaosResult struct {
 	strategy chaosStrategy
 	rows     []chaosWindowRow
 
-	p99       time.Duration
-	goodput   float64
-	completed uint64
-	failed    uint64
-	dropped   uint64
-	refused   uint64
-	lost      uint64
-	timedOut  uint64
-	retries   uint64
-	rejected  uint64
-	degraded  uint64
+	p99          time.Duration
+	goodput      float64
+	goodFrac     float64 // whole-run outcome fractions past warmup
+	degradedFrac float64
+	violatedFrac float64
+	completed    uint64
+	failed       uint64
+	dropped      uint64
+	refused      uint64
+	lost         uint64
+	timedOut     uint64
+	retries      uint64
+	rejected     uint64
+	degraded     uint64
 }
 
 // chaosApps lists the benchmark scenarios in run order.
@@ -102,6 +106,19 @@ var chaosApps = []string{"sockshop", "socialnet"}
 // runChaosUnit executes one (app, strategy) run under the named plan
 // and collects per-window outcome statistics.
 func runChaosUnit(p Params, appName string, strat chaosStrategy, planName string, dur time.Duration) (*chaosResult, error) {
+	// Self-identification record: the unit's timeline (and event log)
+	// leads with the config that produced it, so soradiff can align two
+	// runs without out-of-band context.
+	if tel := p.Telemetry; tel != nil {
+		tel.Publish(0, "run.manifest",
+			telemetry.String("tool", "chaos"),
+			telemetry.String("app", appName),
+			telemetry.String("strategy", strat.String()),
+			telemetry.String("plan", planName),
+			telemetry.Int64("seed", int64(p.Seed)),
+			telemetry.Float("dur_s", dur.Seconds()),
+		)
+	}
 	var (
 		r        *rig
 		targets  fault.Targets
@@ -258,6 +275,12 @@ func runChaosUnit(p Params, appName string, strat chaosStrategy, planName string
 	}
 	if p99, err := r.e2e.Percentile(99, warm, end); err == nil {
 		res.p99 = p99
+	}
+	if good, degraded, violated := r.e2e.CountsByOutcome(warm, end, goodputRTT); good+degraded+violated > 0 {
+		total := float64(good + degraded + violated)
+		res.goodFrac = float64(good) / total
+		res.degradedFrac = float64(degraded) / total
+		res.violatedFrac = float64(violated) / total
 	}
 	for _, win := range eng.Windows() {
 		res.rows = append(res.rows, chaosWindows(r, win, end)...)

@@ -24,6 +24,7 @@ var EventNames = []string{
 	"fault.recover",
 	"resilience.breaker",
 	"resilience.retry",
+	"run.manifest",
 	"timeline.cluster",
 	"timeline.window",
 }

@@ -144,16 +144,21 @@ func (s *Sketch) Reset() {
 }
 
 // Merge folds o into s. Both sketches must have been constructed with
-// the same alpha (and therefore identical bucket layouts); merging is
-// an integer bucket-wise add, so it is exactly associative and
-// commutative — any merge tree over the same multiset of observations
-// yields identical sketch state. A nil or empty o is a no-op.
+// the same alpha (and therefore the same gamma, key origin and bucket
+// layout); merging is an integer bucket-wise add, so it is exactly
+// associative and commutative — any merge tree over the same multiset
+// of observations yields identical sketch state. Merging sketches with
+// mismatched bucket configuration is an explicit error, never a silent
+// bucket-array add: equal-width arrays from different gammas would
+// attribute every count to the wrong value range. A nil or empty o is
+// a no-op.
 func (s *Sketch) Merge(o *Sketch) error {
 	if o == nil || o.count == 0 {
 		return nil
 	}
-	if o.alpha != s.alpha || len(o.buckets) != len(s.buckets) {
-		return fmt.Errorf("stats: merge of incompatible sketches (alpha %g vs %g)", s.alpha, o.alpha)
+	if o.alpha != s.alpha || o.gamma != s.gamma || o.keyMin != s.keyMin || len(o.buckets) != len(s.buckets) {
+		return fmt.Errorf("stats: merge of incompatible sketches (alpha %g/gamma %g/%d buckets from key %d vs alpha %g/gamma %g/%d buckets from key %d)",
+			s.alpha, s.gamma, len(s.buckets), s.keyMin, o.alpha, o.gamma, len(o.buckets), o.keyMin)
 	}
 	for i, c := range o.buckets {
 		s.buckets[i] += c

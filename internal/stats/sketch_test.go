@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand/v2"
 	"sort"
+	"strings"
 	"testing"
 )
 
@@ -268,13 +269,30 @@ func TestSketchParallelMergeDeterminism(t *testing.T) {
 }
 
 // TestSketchMergeIncompatible: merging sketches built with different
-// alphas must fail loudly rather than silently corrupt counts.
+// bucket configurations (different alpha, and therefore gamma and key
+// origin) must fail loudly rather than silently add misaligned bucket
+// arrays, and a failed merge must leave the destination untouched.
 func TestSketchMergeIncompatible(t *testing.T) {
 	a := NewSketch(0.01)
+	a.Observe(10)
 	b := NewSketch(0.05)
 	b.Observe(1)
-	if err := a.Merge(b); err == nil {
+	b.Observe(1000)
+	err := a.Merge(b)
+	if err == nil {
 		t.Fatal("Merge of incompatible alphas succeeded, want error")
+	}
+	for _, frag := range []string{"0.01", "0.05", "incompatible"} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Errorf("incompatible-merge error %q does not name %q", err, frag)
+		}
+	}
+	// The destination must be untouched by the refused merge.
+	if a.Count() != 1 {
+		t.Fatalf("failed Merge mutated the destination: count = %d, want 1", a.Count())
+	}
+	if got, _ := a.Quantile(50); got != a.Max() {
+		t.Fatalf("failed Merge perturbed quantiles: p50 = %g, want %g", got, a.Max())
 	}
 	if err := a.Merge(nil); err != nil {
 		t.Fatalf("Merge(nil) = %v, want no-op", err)

@@ -263,7 +263,12 @@ func timelineKind(kind string) bool {
 	switch kind {
 	case "controller.decision", "controller.error", "controller.hardware",
 		"autoscaler.scale", "cluster.reconfig",
-		"fault.inject", "fault.recover":
+		"fault.inject", "fault.recover",
+		"run.manifest":
+		// run.manifest is the run's self-identification record (see
+		// internal/compare): exporting it makes every timeline artifact
+		// carry the (seed, config, strategy) that produced it, which is
+		// what lets soradiff align two runs without out-of-band context.
 		return true
 	}
 	return false

@@ -299,6 +299,33 @@ func (r *Recorder) Gauges() []Metric {
 	return out
 }
 
+// CounterTotals aggregates every counter in the subtree by name,
+// summing values across nodes. Names appear in first-seen export order
+// (the deterministic tree walk — node first, groups in creation order,
+// units in ascending index order), so the result is byte-stable between
+// serial and parallel runs of the same seed; run manifests record it as
+// the closing counter state. Returns nil on a nil receiver.
+func (r *Recorder) CounterTotals() []Metric {
+	if r == nil {
+		return nil
+	}
+	var out []Metric
+	idx := make(map[string]int)
+	r.walk("", func(path string, rec *Recorder) {
+		rec.mu.Lock()
+		for _, m := range rec.counters {
+			if i, ok := idx[m.Name]; ok {
+				out[i].Value += m.Value
+				continue
+			}
+			idx[m.Name] = len(out)
+			out = append(out, m)
+		}
+		rec.mu.Unlock()
+	})
+	return out
+}
+
 // Spans returns a snapshot of the node's span samples.
 func (r *Recorder) Spans() []SpanSample {
 	if r == nil {

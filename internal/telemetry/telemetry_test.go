@@ -26,7 +26,7 @@ func TestNilReceiverSafe(t *testing.T) {
 	r.AddCounter("c", 1)
 	r.SetGauge("g", 2)
 	r.AddSpan(SpanSample{})
-	if r.Label() != "" || r.Events() != nil || r.Counters() != nil || r.Gauges() != nil || r.Spans() != nil {
+	if r.Label() != "" || r.Events() != nil || r.Counters() != nil || r.Gauges() != nil || r.Spans() != nil || r.CounterTotals() != nil {
 		t.Fatal("nil recorder accessors must return zero values")
 	}
 	if err := r.WriteJSONL(nil); err != nil {
@@ -219,6 +219,45 @@ func TestUnitOrderDeterminism(t *testing.T) {
 	serial, parallel := build(false), build(true)
 	if serial != parallel {
 		t.Fatalf("export differs between serial and concurrent unit creation:\nserial:\n%s\nparallel:\n%s", serial, parallel)
+	}
+}
+
+// TestCounterTotals verifies subtree aggregation: values sum by name
+// across nodes, names keep first-seen walk order, and the result is
+// identical whether units were created in or out of index order.
+func TestCounterTotals(t *testing.T) {
+	build := func(reversed bool) *Recorder {
+		root := NewRecorder("exp")
+		root.AddCounter("runs", 1)
+		grp := root.Group("fan")
+		order := []int{0, 1, 2}
+		if reversed {
+			order = []int{2, 1, 0}
+		}
+		for _, i := range order {
+			u := grp.Unit(i, "")
+			u.AddCounter("completed", float64(10*(i+1)))
+			if i == 1 {
+				u.AddCounter("dropped", 7)
+			}
+		}
+		return root
+	}
+	got := build(false).CounterTotals()
+	want := []Metric{{Name: "runs", Value: 1}, {Name: "completed", Value: 60}, {Name: "dropped", Value: 7}}
+	if len(got) != len(want) {
+		t.Fatalf("CounterTotals = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("CounterTotals[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	rev := build(true).CounterTotals()
+	for i := range want {
+		if rev[i] != want[i] {
+			t.Fatalf("reversed-creation CounterTotals[%d] = %v, want %v", i, rev[i], want[i])
+		}
 	}
 }
 

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Regenerate the cmd/soradiff golden-test fixtures: three pinned simrun
+# invocations on the sock-shop cart mix — Sora vs autoscaler under the
+# same seed and combo fault plan (the canonical strategy diff), plus a
+# Sora run under the clamp plan (a genuinely divergent scenario).
+#
+# Fixture runs are tiny (90s virtual, 5s windows) so the checked-in
+# timelines stay small. The runs are fully deterministic, so this
+# script is only needed when the simulator's output format or dynamics
+# change — after running it, refresh the goldens with
+#   go test ./cmd/soradiff -update
+#
+# SIMRUN can point at a pre-built binary to skip the go build.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=cmd/soradiff/testdata
+mkdir -p "$out"
+
+SIMRUN="${SIMRUN:-}"
+if [ -z "$SIMRUN" ]; then
+  SIMRUN="$(mktemp -d)/simrun"
+  go build -o "$SIMRUN" ./cmd/simrun
+fi
+
+gen() { # name strategy fault-plan
+  "$SIMRUN" -id "$1" -app sockshop -mix cart -users 600 -duration 90s -seed 7 \
+    -strategy "$2" -fault-plan "$3" \
+    -timeline "$out/$1.timeline.jsonl" -timeline-window 5s \
+    -folded "$out/$1.folded" \
+    -manifest "$out/$1.manifest.json" >/dev/null
+  echo "  $1: strategy=$2 plan=$3"
+}
+
+echo "regenerating soradiff fixtures in $out"
+gen sora_combo sora combo
+gen auto_combo autoscaler combo
+gen sora_clamp sora clamp

@@ -1,0 +1,39 @@
+#!/bin/sh
+# regress.sh — the regression sentinel (see DESIGN.md §15).
+#
+# Replays the pinned scenario suite (internal/experiment.RunBaselineSuite:
+# three 90s chaos units, fixed seed, combo fault plan) and checks the
+# fresh goodput fractions and p99s — plus, in full mode, the kernel
+# micro-benchmark allocs/op and events/s — against the checked-in
+# BASELINE.json. Exits nonzero on any regression past an entry's
+# tolerance, so it slots directly into CI.
+#
+# Usage:
+#   scripts/regress.sh                      # full check vs BASELINE.json
+#   scripts/regress.sh -quick               # sim metrics only (CI-safe; verify.sh runs this)
+#   scripts/regress.sh -quick OTHER.json    # check against another baseline
+#
+# After a deliberate behavior change, refresh the baseline with
+#   go run ./cmd/sorabench -baseline BASELINE.json -baseline-update
+# and commit the diff — the review of that diff IS the regression review.
+#
+# SORABENCH can point at a pre-built binary to skip the go build
+# (verify.sh does this so its bench and regress steps share one build).
+set -eu
+cd "$(dirname "$0")/.."
+
+QUICK=""
+if [ "${1:-}" = "-quick" ]; then
+	QUICK="-baseline-quick"
+	shift
+fi
+BASELINE="${1:-BASELINE.json}"
+
+if [ -z "${SORABENCH:-}" ]; then
+	BIN_DIR="$(mktemp -d)"
+	trap 'rm -rf "$BIN_DIR"' EXIT
+	SORABENCH="$BIN_DIR/sorabench"
+	go build -o "$SORABENCH" ./cmd/sorabench
+fi
+
+"$SORABENCH" -baseline "$BASELINE" $QUICK

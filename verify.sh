@@ -14,7 +14,11 @@
 # `go vet ./...` covers every cmd/ (including cmd/tracedig) and
 # internal/ package; `soravet` (see internal/lint and DESIGN.md §Static
 # analysis) machine-checks the repo-specific invariants vet cannot:
-# wallclock, globalrand, maporder, nilrecv, eventname.
+# wallclock, globalrand, maporder, nilrecv, eventname. The final smoke
+# steps share one sorabench build: the kernel bench suite in quick mode
+# and the regression sentinel (scripts/regress.sh -quick), which checks
+# the deterministic goodput/p99 metrics of a pinned chaos-scenario
+# suite against the checked-in BASELINE.json.
 set -eu
 cd "$(dirname "$0")"
 
@@ -39,11 +43,20 @@ echo "== go test ./..."
 go test ./...
 
 echo "== go test -race (concurrent packages)"
-go test -race -short ./internal/experiment ./internal/sim ./internal/telemetry ./internal/profile ./internal/cluster ./internal/trace ./internal/fault ./internal/metrics ./internal/stats
+go test -race -short ./internal/experiment ./internal/sim ./internal/telemetry ./internal/profile ./internal/cluster ./internal/trace ./internal/fault ./internal/metrics ./internal/stats ./internal/compare
+
+# The bench smoke and the regression sentinel both run sorabench; build
+# it once and share the binary instead of paying two `go run` compiles.
+echo "== build sorabench (shared by the smoke steps)"
+SORABENCH_DIR="$(mktemp -d)"
+trap 'rm -rf "$SORABENCH_DIR"' EXIT
+SORABENCH="$SORABENCH_DIR/sorabench"
+go build -o "$SORABENCH" ./cmd/sorabench
 
 echo "== bench smoke (compile + one quick iteration, not timing-gated)"
-BENCH_TMP="$(mktemp)"
-go run ./cmd/sorabench -bench-json "$BENCH_TMP" -bench-quick
-rm -f "$BENCH_TMP"
+"$SORABENCH" -bench-json "$SORABENCH_DIR/bench.json" -bench-quick
+
+echo "== regression sentinel (quick: deterministic sim metrics vs BASELINE.json)"
+SORABENCH="$SORABENCH" sh scripts/regress.sh -quick BASELINE.json
 
 echo "verify: OK"
