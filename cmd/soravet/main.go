@@ -6,20 +6,25 @@
 //
 // Usage:
 //
-//	soravet [-checks wallclock,maporder] [-json] [packages]
+//	soravet [-checks wallclock,maporder] [-json] [-v] [-stat] [packages]
 //	soravet -list
 //
 // Packages are go-tool-style patterns relative to the module root
 // (default "./..."). Findings print as "file:line:col: [check] message"
 // and any finding exits 1; errors exit 2. Deliberate violations opt out
 // with a //soravet:allow <check> <reason> directive on (or directly
-// above) the offending line.
+// above) the offending line. -v prints per-package type-check timings
+// to stderr (type-checking runs across GOMAXPROCS workers, topological
+// order respected); -stat appends a one-line JSON scan summary for
+// scripts/lintstat.sh.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"sora/internal/lint"
@@ -28,13 +33,15 @@ import (
 func main() {
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: soravet [-checks names] [-json] [packages]\n       soravet -list\n\n")
+			"usage: soravet [-checks names] [-json] [-v] [-stat] [packages]\n       soravet -list\n\n")
 		flag.PrintDefaults()
 	}
 	list := flag.Bool("list", false, "print the check catalog and exit")
 	jsonOut := flag.Bool("json", false, "emit findings as a JSON array instead of text")
 	checksFlag := flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
 	dir := flag.String("C", ".", "directory whose enclosing module is analyzed")
+	verbose := flag.Bool("v", false, "print per-package type-check timings to stderr")
+	stat := flag.Bool("stat", false, "print a one-line JSON scan summary to stdout after findings")
 	flag.Parse()
 
 	if *list {
@@ -52,9 +59,21 @@ func main() {
 	if *checksFlag != "" {
 		names = strings.Split(*checksFlag, ",")
 	}
-	findings, err := lint.Run(root, lint.Options{Patterns: flag.Args(), Checks: names})
+	findings, stats, err := lint.RunWithStats(root, lint.Options{Patterns: flag.Args(), Checks: names})
 	if err != nil {
 		fatal(err)
+	}
+	if *verbose {
+		timings := append([]lint.PkgTiming(nil), stats.Timings...)
+		sort.Slice(timings, func(i, j int) bool {
+			if timings[i].MS != timings[j].MS {
+				return timings[i].MS > timings[j].MS
+			}
+			return timings[i].Path < timings[j].Path
+		})
+		for _, t := range timings {
+			fmt.Fprintf(os.Stderr, "soravet: %6dms  %s\n", t.MS, t.Path)
+		}
 	}
 	if *jsonOut {
 		if err := lint.WriteJSON(os.Stdout, findings); err != nil {
@@ -64,6 +83,13 @@ func main() {
 		if err := lint.WriteText(os.Stdout, findings); err != nil {
 			fatal(err)
 		}
+	}
+	if *stat {
+		line, err := json.Marshal(stats)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(line))
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "soravet: %d finding(s)\n", len(findings))

@@ -507,7 +507,7 @@ const spanChunkSize = 256
 // newSpan carves one zeroed span from the arena.
 func (c *Cluster) newSpan() *trace.Span {
 	if len(c.spanChunk) == 0 {
-		c.spanChunk = make([]trace.Span, spanChunkSize)
+		c.spanChunk = make([]trace.Span, spanChunkSize) //soravet:allow hotpath arena slab refill: one make per spanChunkSize spans amortizes span allocation on the request path
 	}
 	s := &c.spanChunk[0]
 	c.spanChunk = c.spanChunk[1:]
@@ -524,9 +524,9 @@ func (c *Cluster) newVisit() *visit {
 		c.visitFree = c.visitFree[:n-1]
 		return v
 	}
-	v := &visit{c: c}
-	v.reqDoneFn = v.reqWorkDone
-	v.resDoneFn = v.resWorkDone
+	v := &visit{c: c}           //soravet:allow hotpath pool miss: allocates only while the live-visit high-water mark rises, then the free list serves every newVisit
+	v.reqDoneFn = v.reqWorkDone //soravet:allow hotpath bound once per struct lifetime (pool miss only) and reused across recycles, so Submit stays closure-free
+	v.resDoneFn = v.resWorkDone //soravet:allow hotpath bound once per struct lifetime (pool miss only) and reused across recycles, so Submit stays closure-free
 	return v
 }
 

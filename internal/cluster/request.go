@@ -19,6 +19,8 @@ const (
 )
 
 // visit is the execution state of one service visit (one span).
+//
+//soravet:pool visit invalidated-by Cluster.freeVisit handle dead once freeVisit returns; the cluster free-lists the struct and a later newVisit may reissue it (orphans are never freed and fall to the GC)
 type visit struct {
 	c    *Cluster
 	inst *Instance
@@ -89,6 +91,8 @@ func (v *visit) reWait() {
 // finally reaches the wire. The deadline is the caller's propagated
 // deadline (0 = none); visits that find every pod of the service down
 // are refused immediately.
+//
+//soravet:hotpath BenchmarkRequestPath per-hop admission: one startVisit per service visit, allocation-free except the span arena and pool misses
 func (c *Cluster) startVisit(node *CallNode, parent *trace.Span, depth int, deadline sim.Time, onDone func(*visit)) *visit {
 	svc := c.services[node.Service]
 	if svc.flight != nil {
@@ -106,7 +110,7 @@ func (c *Cluster) startVisit(node *CallNode, parent *trace.Span, depth int, dead
 	v.deadline = deadline
 	v.onDone = onDone
 	if parent != nil {
-		parent.Children = append(parent.Children, v.span)
+		parent.Children = append(parent.Children, v.span) //soravet:allow hotpath child-span list append: fan-out degree is call-graph bounded and small; a per-span presized slice would pin worst-case capacity on every span
 	}
 	if inst == nil {
 		v.refuse()

@@ -368,7 +368,7 @@ func (in *Instance) enqueue(v *visit) {
 		v.drop()
 		return
 	}
-	in.queue = append(in.queue, v)
+	in.queue = append(in.queue, v) //soravet:allow hotpath admission queue append reuses capacity at steady state; queueCap bounds growth when configured
 }
 
 // admit moves the visit into service.

@@ -46,12 +46,13 @@ func (c *Cluster) noteDrop(service string) {
 	now := c.k.Now()
 	win, ok := c.dropWins[service]
 	if !ok {
-		win = &dropWindow{winStart: now}
+		win = &dropWindow{winStart: now} //soravet:allow hotpath one window per service for the run's lifetime, allocated on that service's first drop only
 		c.dropWins[service] = win
 	}
 	win.count++
 	win.total++
 	if now-win.winStart >= dropWindowLen {
+		//soravet:allow hotpath drop events are rate-limited to one per service per dropWindowLen of virtual time, so the variadic slice is off the steady-state path
 		c.tel.Publish(now, "cluster.drop",
 			telemetry.String("service", service),
 			telemetry.Int("count", win.count))

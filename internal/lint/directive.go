@@ -48,6 +48,10 @@ func scanDirectives(m *Module, p *Package) []*directive {
 				d := &directive{file: relFile(m.Root, posn.Filename), line: posn.Line, col: posn.Column}
 				verb, args, _ := strings.Cut(rest, " ")
 				switch {
+				case verb == "pool" || verb == "hotpath":
+					// Annotation verbs, scanned and validated by
+					// annotations.go — not suppression directives.
+					continue
 				case verb != "allow":
 					d.bad = fmt.Sprintf("unknown soravet directive %q (the only verb is //soravet:allow <check> <reason>)", "soravet:"+verb)
 				default:
@@ -81,8 +85,14 @@ func (d *directive) suppresses(f Finding) bool {
 // applyDirectives removes suppressed findings and appends directive
 // validation findings: malformed directives always, unused ones only
 // when the full check suite ran (a directive for an unselected check
-// would otherwise look unused).
-func applyDirectives(findings []Finding, dirs []*directive, allChecks bool) []Finding {
+// would otherwise look unused). Suppression is all-matches, not
+// first-match: every finding is tested against every directive, so one
+// //soravet:allow covers any number of findings of its check on the
+// line (two invalidated uses in one expression, say), and a directive
+// counts as used if it suppresses at least one of them. Returns the
+// surviving findings and how many were suppressed.
+func applyDirectives(findings []Finding, dirs []*directive, allChecks bool) ([]Finding, int) {
+	suppressedCount := 0
 	kept := findings[:0]
 	for _, f := range findings {
 		suppressed := false
@@ -94,6 +104,8 @@ func applyDirectives(findings []Finding, dirs []*directive, allChecks bool) []Fi
 		}
 		if !suppressed {
 			kept = append(kept, f)
+		} else {
+			suppressedCount++
 		}
 	}
 	for _, d := range dirs {
@@ -107,7 +119,7 @@ func applyDirectives(findings []Finding, dirs []*directive, allChecks bool) []Fi
 			})
 		}
 	}
-	return kept
+	return kept, suppressedCount
 }
 
 // reporter is the callback type checks use; declared here so check

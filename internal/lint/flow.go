@@ -1,0 +1,360 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// This file is the intra-function flow substrate shared by the deep
+// checks (poolsafe, and the nil-at-fire verification behind its
+// arm-site rule): a lightweight control-flow graph over a function
+// body, built directly from the AST with no SSA and no go/analysis.
+//
+// Blocks hold a flat, ordered list of ast.Nodes — simple statements,
+// plus the conditions and range operands of the control statements the
+// builder decomposes. Compound statements (if/for/range/switch/select)
+// never appear as block nodes; their pieces are distributed across
+// blocks and edges. Two deliberate approximations keep the builder
+// small, both erring toward fewer spurious paths rather than more:
+//
+//   - goto ends its path (no edge to the label), and
+//   - fallthrough is treated as ordinary fall-out of the switch.
+//
+// Function literals are NOT inlined: a FuncLit encountered in a
+// statement is an opaque value here, and callers analyze its body as a
+// separate function with a fresh entry state (a closure runs at an
+// unknown later time, so inheriting the creation-site state would be
+// wrong in both directions).
+
+// flowBlock is one basic block: nodes execute in order, then control
+// moves to one of succs (empty succs = function exit).
+type flowBlock struct {
+	id    int
+	nodes []ast.Node
+	succs []*flowBlock
+	preds int
+}
+
+// flowGraph is the CFG of one function body. Blocks are numbered in
+// construction order; entry is blocks[0].
+type flowGraph struct {
+	entry  *flowBlock
+	blocks []*flowBlock
+}
+
+// buildCFG constructs the flow graph for a function body.
+func buildCFG(body *ast.BlockStmt) *flowGraph {
+	b := &cfgBuilder{g: &flowGraph{}, labels: make(map[string]*loopTargets)}
+	entry := b.newBlock()
+	b.g.entry = entry
+	b.stmtList(body.List, entry)
+	return b.g
+}
+
+// loopTargets records where break and continue jump for one enclosing
+// loop or switch.
+type loopTargets struct {
+	brk  *flowBlock
+	cont *flowBlock // nil for switch/select (continue passes through)
+}
+
+type cfgBuilder struct {
+	g        *flowGraph
+	stack    []*loopTargets // innermost last
+	labels   map[string]*loopTargets
+	curLabel string // pending label for the next loop/switch/range
+}
+
+func (b *cfgBuilder) newBlock() *flowBlock {
+	blk := &flowBlock{id: len(b.g.blocks)}
+	b.g.blocks = append(b.g.blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *flowBlock) {
+	from.succs = append(from.succs, to)
+	to.preds++
+}
+
+// branchBlock starts a new block reached from cur.
+func (b *cfgBuilder) branchBlock(cur *flowBlock) *flowBlock {
+	blk := b.newBlock()
+	b.edge(cur, blk)
+	return blk
+}
+
+// stmtList threads a statement sequence through the graph, returning
+// the block where control continues (nil if it never falls through).
+func (b *cfgBuilder) stmtList(list []ast.Stmt, cur *flowBlock) *flowBlock {
+	for _, s := range list {
+		if cur == nil {
+			// Unreachable code after return/break; still give it a block
+			// so its uses are analyzed (against an empty entry state).
+			cur = b.newBlock()
+		}
+		cur = b.stmt(s, cur)
+	}
+	return cur
+}
+
+// pushLoop registers loop targets, consuming a pending label.
+func (b *cfgBuilder) pushLoop(t *loopTargets) {
+	b.stack = append(b.stack, t)
+	if b.curLabel != "" {
+		b.labels[b.curLabel] = t
+		b.curLabel = ""
+	}
+}
+
+func (b *cfgBuilder) popLoop() {
+	b.stack = b.stack[:len(b.stack)-1]
+}
+
+// targets resolves a branch statement's jump targets.
+func (b *cfgBuilder) targets(label string) *loopTargets {
+	if label != "" {
+		return b.labels[label]
+	}
+	if len(b.stack) == 0 {
+		return nil
+	}
+	return b.stack[len(b.stack)-1]
+}
+
+// innermostLoop returns the nearest enclosing target set that has a
+// continue target (skipping switches), for unlabeled continue.
+func (b *cfgBuilder) innermostLoop() *loopTargets {
+	for i := len(b.stack) - 1; i >= 0; i-- {
+		if b.stack[i].cont != nil {
+			return b.stack[i]
+		}
+	}
+	return nil
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt, cur *flowBlock) *flowBlock {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return b.stmtList(s.List, cur)
+
+	case *ast.LabeledStmt:
+		b.curLabel = s.Label.Name
+		out := b.stmt(s.Stmt, cur)
+		b.curLabel = ""
+		return out
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			cur.nodes = append(cur.nodes, s.Init)
+		}
+		cur.nodes = append(cur.nodes, s.Cond)
+		thenEnd := b.stmt(s.Body, b.branchBlock(cur))
+		elseEnd := cur // no else: condition false falls through
+		if s.Else != nil {
+			elseEnd = b.stmt(s.Else, b.branchBlock(cur))
+		}
+		if thenEnd == nil && elseEnd == nil {
+			return nil
+		}
+		join := b.newBlock()
+		if thenEnd != nil {
+			b.edge(thenEnd, join)
+		}
+		if elseEnd != nil {
+			b.edge(elseEnd, join)
+		}
+		return join
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			cur.nodes = append(cur.nodes, s.Init)
+		}
+		head := b.branchBlock(cur)
+		if s.Cond != nil {
+			head.nodes = append(head.nodes, s.Cond)
+		}
+		exit := b.newBlock()
+		cont := head
+		if s.Post != nil {
+			post := b.newBlock()
+			post.nodes = append(post.nodes, s.Post)
+			b.edge(post, head)
+			cont = post
+		}
+		b.pushLoop(&loopTargets{brk: exit, cont: cont})
+		bodyEnd := b.stmt(s.Body, b.branchBlock(head))
+		b.popLoop()
+		if bodyEnd != nil {
+			b.edge(bodyEnd, cont)
+		}
+		if s.Cond != nil {
+			b.edge(head, exit)
+		}
+		if exit.preds == 0 {
+			return nil // for {} with no break: nothing falls through
+		}
+		return exit
+
+	case *ast.RangeStmt:
+		// The RangeStmt node itself lands in the head block; dataflow
+		// transfer functions treat it shallowly (operand is read, key and
+		// value are assigned) and never descend into the body, which is
+		// threaded through the graph here.
+		head := b.branchBlock(cur)
+		head.nodes = append(head.nodes, s)
+		exit := b.newBlock()
+		b.edge(head, exit)
+		b.pushLoop(&loopTargets{brk: exit, cont: head})
+		bodyEnd := b.stmt(s.Body, b.branchBlock(head))
+		b.popLoop()
+		if bodyEnd != nil {
+			b.edge(bodyEnd, head)
+		}
+		return exit
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			cur.nodes = append(cur.nodes, s.Init)
+		}
+		if s.Tag != nil {
+			cur.nodes = append(cur.nodes, s.Tag)
+		}
+		return b.switchClauses(s.Body.List, cur, false)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			cur.nodes = append(cur.nodes, s.Init)
+		}
+		cur.nodes = append(cur.nodes, s.Assign)
+		return b.switchClauses(s.Body.List, cur, false)
+
+	case *ast.SelectStmt:
+		return b.switchClauses(s.Body.List, cur, true)
+
+	case *ast.ReturnStmt:
+		cur.nodes = append(cur.nodes, s)
+		return nil
+
+	case *ast.BranchStmt:
+		cur.nodes = append(cur.nodes, s)
+		switch s.Tok.String() {
+		case "break":
+			var label string
+			if s.Label != nil {
+				label = s.Label.Name
+			}
+			if t := b.targets(label); t != nil {
+				b.edge(cur, t.brk)
+			}
+			return nil
+		case "continue":
+			var t *loopTargets
+			if s.Label != nil {
+				t = b.labels[s.Label.Name]
+			} else {
+				t = b.innermostLoop()
+			}
+			if t != nil && t.cont != nil {
+				b.edge(cur, t.cont)
+			}
+			return nil
+		case "fallthrough":
+			// Approximated as ordinary fall-out (see file comment).
+			return cur
+		default: // goto: end of path
+			return nil
+		}
+
+	default:
+		// Simple statements: assignments, calls, declarations, sends,
+		// inc/dec, defer, go, empty.
+		cur.nodes = append(cur.nodes, s)
+		return cur
+	}
+}
+
+// switchClauses wires switch/select clause bodies: each clause branches
+// from the dispatch block and joins after, with break targeting the
+// join. isSelect marks select statements (whose clauses hold a comm
+// statement instead of match expressions).
+func (b *cfgBuilder) switchClauses(clauses []ast.Stmt, cur *flowBlock, isSelect bool) *flowBlock {
+	join := b.newBlock()
+	b.pushLoop(&loopTargets{brk: join})
+	hasDefault := false
+	for _, cl := range clauses {
+		blk := b.branchBlock(cur)
+		var body []ast.Stmt
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			if cl.List == nil {
+				hasDefault = true
+			}
+			for _, e := range cl.List {
+				blk.nodes = append(blk.nodes, e)
+			}
+			body = cl.Body
+		case *ast.CommClause:
+			if cl.Comm == nil {
+				hasDefault = true
+			} else {
+				blk.nodes = append(blk.nodes, cl.Comm)
+			}
+			body = cl.Body
+		}
+		if end := b.stmtList(body, blk); end != nil {
+			b.edge(end, join)
+		}
+	}
+	b.popLoop()
+	if !hasDefault && !isSelect {
+		// No default: the switch may match nothing and fall through.
+		b.edge(cur, join)
+	}
+	if isSelect && len(clauses) == 0 {
+		// select {} blocks forever.
+		if join.preds == 0 {
+			return nil
+		}
+	}
+	if join.preds == 0 {
+		return nil
+	}
+	return join
+}
+
+// eachFuncBody invokes fn for every function body in the package's
+// files: declared functions and methods, and every function literal —
+// each exactly once, with lit bodies excluded from their enclosing
+// function's walk (walkShallow skips FuncLit subtrees).
+func eachFuncBody(p *Package, fn func(decl *ast.FuncDecl, lit *ast.FuncLit, body *ast.BlockStmt)) {
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn(fd, nil, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					fn(fd, lit, lit.Body)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// walkShallow walks the subtree of n, invoking visit for every node,
+// but does not descend into function literal bodies: a FuncLit is a
+// value at this program point, not code that executes here. visit
+// returning false prunes the subtree (as in ast.Inspect).
+func walkShallow(n ast.Node, visit func(ast.Node) bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == nil {
+			return true
+		}
+		if _, ok := m.(*ast.FuncLit); ok && m != n {
+			return false
+		}
+		return visit(m)
+	})
+}

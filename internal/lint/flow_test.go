@@ -1,0 +1,184 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseBody wraps src in a function and returns its parsed body.
+func parseBody(t *testing.T, src string) *ast.BlockStmt {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "flow_test_src.go", "package x\nfunc f(cond bool, xs []int) {\n"+src+"\n}", 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return f.Decls[0].(*ast.FuncDecl).Body
+}
+
+// checkInvariants verifies structural CFG properties that must hold for
+// any input: pred counts match incoming edges, the entry is blocks[0],
+// and ids are dense construction order.
+func checkInvariants(t *testing.T, g *flowGraph) {
+	t.Helper()
+	if g.entry != g.blocks[0] {
+		t.Error("entry is not blocks[0]")
+	}
+	incoming := make(map[int]int)
+	for i, b := range g.blocks {
+		if b.id != i {
+			t.Errorf("block %d has id %d", i, b.id)
+		}
+		for _, s := range b.succs {
+			incoming[s.id]++
+		}
+	}
+	for _, b := range g.blocks {
+		if b.preds != incoming[b.id] {
+			t.Errorf("block %d: preds = %d, incoming edges = %d", b.id, b.preds, incoming[b.id])
+		}
+	}
+}
+
+// reachable returns the ids reachable from the entry.
+func reachable(g *flowGraph) map[int]bool {
+	seen := map[int]bool{g.entry.id: true}
+	work := []*flowBlock{g.entry}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		for _, s := range b.succs {
+			if !seen[s.id] {
+				seen[s.id] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return seen
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	g := buildCFG(parseBody(t, "a := 1\nb := a + 1\n_ = b"))
+	checkInvariants(t, g)
+	if len(g.blocks) != 1 {
+		t.Errorf("straight-line body built %d blocks, want 1", len(g.blocks))
+	}
+	if len(g.entry.succs) != 0 {
+		t.Errorf("straight-line entry has %d succs, want 0 (fall off the end)", len(g.entry.succs))
+	}
+	if len(g.entry.nodes) != 3 {
+		t.Errorf("entry holds %d nodes, want 3", len(g.entry.nodes))
+	}
+}
+
+func TestCFGIfElseMerges(t *testing.T) {
+	g := buildCFG(parseBody(t, "a := 1\nif cond {\n\ta = 2\n} else {\n\ta = 3\n}\n_ = a"))
+	checkInvariants(t, g)
+	if len(g.entry.succs) != 2 {
+		t.Fatalf("if entry has %d succs, want 2 (then/else)", len(g.entry.succs))
+	}
+	merged := 0
+	for _, b := range g.blocks {
+		if b.preds == 2 {
+			merged++
+		}
+	}
+	if merged != 1 {
+		t.Errorf("found %d merge blocks with 2 preds, want exactly 1", merged)
+	}
+}
+
+func TestCFGLoopBackEdge(t *testing.T) {
+	g := buildCFG(parseBody(t, "for i := 0; i < 3; i++ {\n\t_ = i\n}"))
+	checkInvariants(t, g)
+	back := false
+	for _, b := range g.blocks {
+		for _, s := range b.succs {
+			if s.id <= b.id {
+				back = true
+			}
+		}
+	}
+	if !back {
+		t.Error("for loop produced no back edge")
+	}
+}
+
+func TestCFGReturnEndsPath(t *testing.T) {
+	g := buildCFG(parseBody(t, "if cond {\n\treturn\n}\n_ = cond"))
+	checkInvariants(t, g)
+	// The then-branch block holding the return must have no successors.
+	found := false
+	for _, b := range g.blocks {
+		for _, n := range b.nodes {
+			if _, ok := n.(*ast.ReturnStmt); ok {
+				found = true
+				if len(b.succs) != 0 {
+					t.Errorf("return block %d has %d succs, want 0", b.id, len(b.succs))
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no block contains the return statement")
+	}
+}
+
+func TestCFGBreakLeavesLoop(t *testing.T) {
+	g := buildCFG(parseBody(t, "for {\n\tif cond {\n\t\tbreak\n\t}\n}\n_ = cond"))
+	checkInvariants(t, g)
+	// The trailing statement must be reachable: break escapes the
+	// otherwise-infinite loop.
+	last := g.blocks[len(g.blocks)-1]
+	var holds *flowBlock
+	for _, b := range g.blocks {
+		for _, n := range b.nodes {
+			if as, ok := n.(*ast.AssignStmt); ok && len(as.Rhs) == 1 {
+				if id, ok := as.Rhs[0].(*ast.Ident); ok && id.Name == "cond" {
+					holds = b
+				}
+			}
+		}
+	}
+	if holds == nil {
+		t.Fatalf("no block holds the post-loop statement (last block %d)", last.id)
+	}
+	if !reachable(g)[holds.id] {
+		t.Errorf("post-loop block %d unreachable: break did not exit the loop", holds.id)
+	}
+}
+
+func TestCFGRangeShallow(t *testing.T) {
+	g := buildCFG(parseBody(t, "for _, v := range xs {\n\t_ = v\n}"))
+	checkInvariants(t, g)
+	// The RangeStmt node itself must appear in exactly one block (the
+	// head) and its body statements in another: the transfer function
+	// treats the range node shallowly.
+	rangeBlocks := 0
+	for _, b := range g.blocks {
+		for _, n := range b.nodes {
+			if _, ok := n.(*ast.RangeStmt); ok {
+				rangeBlocks++
+			}
+		}
+	}
+	if rangeBlocks != 1 {
+		t.Errorf("RangeStmt appears in %d blocks, want 1", rangeBlocks)
+	}
+	if len(g.blocks) < 2 {
+		t.Errorf("range body not split into its own block: %d blocks", len(g.blocks))
+	}
+}
+
+func TestCFGSwitchFanOut(t *testing.T) {
+	g := buildCFG(parseBody(t, "switch {\ncase cond:\n\t_ = 1\ndefault:\n\t_ = 2\n}\n_ = cond"))
+	checkInvariants(t, g)
+	if len(g.entry.succs) < 2 {
+		t.Errorf("switch entry has %d succs, want >= 2 (one per clause)", len(g.entry.succs))
+	}
+	for id := range reachable(g) {
+		_ = id
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Finding is one reported violation.
@@ -71,7 +72,10 @@ func Catalog() []Check {
 		{Name: "maporder", Doc: "no range over a map that appends, writes to a sink/builder, or publishes telemetry in iteration order; collect and sort keys first", Run: checkMaporder},
 		{Name: "nilrecv", Doc: "exported pointer-receiver methods in package telemetry must begin with a nil-receiver guard (zero-alloc disabled-telemetry contract)", Run: checkNilrecv},
 		{Name: "eventname", Doc: "telemetry event names must be lowercase dotted string literals registered in the event-name registry (DESIGN.md)", Run: checkEventname},
-		{Name: directiveCheck, Doc: "validates //soravet:allow directives: known check name, non-empty reason, and actually suppressing a finding (always on)", Run: nil},
+		{Name: "poolsafe", Doc: "flow-aware pool-lifetime analysis: no use of a //soravet:pool handle after an invalidating call on any CFG path, no escaping stores into fields/containers, and armed callbacks must nil their stored handle at fire entry", Run: checkPoolsafe},
+		{Name: "hotpath", Doc: "no allocation-inducing constructs (closures, fmt, string conversions, boxing, append/make/map literals) reachable from //soravet:hotpath-annotated AllocsPerRun-pinned roots via the static call graph", Run: checkHotpath},
+		{Name: "racelist", Doc: "every internal/... package with go statements or sync/atomic usage must appear in verify.sh's go test -race package list", Run: checkRacelist},
+		{Name: directiveCheck, Doc: "validates //soravet:allow directives and //soravet:pool / //soravet:hotpath annotations: known check name, resolvable grammar, non-empty reason, and actually suppressing a finding (always on)", Run: nil},
 	}
 }
 
@@ -89,17 +93,36 @@ type Options struct {
 	Checks []string
 }
 
+// Stats summarizes one Run for the -stat flag and scripts/lintstat.sh.
+// FindingsPerCheck is keyed by check name; encoding/json sorts map keys
+// so the one-line summary is deterministic.
+type Stats struct {
+	Files            int            `json:"files"`
+	Packages         int            `json:"packages"`
+	FindingsPerCheck map[string]int `json:"findings_per_check"`
+	Suppressed       int            `json:"suppressed"`
+	WallMS           int64          `json:"wall_ms"`
+	Timings          []PkgTiming    `json:"-"` // per-package type-check time, for -v
+}
+
 // Run loads the module rooted at root, applies the selected checks to
 // every package matching opts.Patterns, enforces directives, and
 // returns the surviving findings sorted by position.
 func Run(root string, opts Options) ([]Finding, error) {
+	findings, _, err := RunWithStats(root, opts)
+	return findings, err
+}
+
+// RunWithStats is Run plus a scan summary.
+func RunWithStats(root string, opts Options) ([]Finding, *Stats, error) {
+	start := time.Now() //soravet:allow wallclock lint wall-time for the -stat summary, never in artifacts
 	m, err := LoadModule(root)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	checks, err := selectChecks(opts.Checks)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	allChecks := len(opts.Checks) == 0
 
@@ -112,8 +135,13 @@ func Run(root string, opts Options) ([]Finding, error) {
 			}
 		}
 		if !hit {
-			return nil, fmt.Errorf("pattern %q matched no packages under %s", pat, m.Root)
+			return nil, nil, fmt.Errorf("pattern %q matched no packages under %s", pat, m.Root)
 		}
+	}
+
+	stats := &Stats{FindingsPerCheck: make(map[string]int), Timings: m.Timings}
+	for _, p := range m.Pkgs {
+		stats.Files += len(p.Files)
 	}
 
 	var findings []Finding
@@ -122,6 +150,7 @@ func Run(root string, opts Options) ([]Finding, error) {
 		if !matchPatterns(p.RelDir, opts.Patterns) {
 			continue
 		}
+		stats.Packages++
 		for _, c := range checks {
 			if c.Run == nil {
 				continue
@@ -138,10 +167,16 @@ func Run(root string, opts Options) ([]Finding, error) {
 				})
 			})
 		}
+		// Malformed //soravet:pool and //soravet:hotpath annotations are
+		// directive findings for the package they sit in, independent of
+		// which checks ran (like malformed allow directives).
+		findings = m.annotations().reportProblems(m, p, findings)
 		dirs = append(dirs, scanDirectives(m, p)...)
 	}
 
-	findings = applyDirectives(findings, dirs, allChecks)
+	var suppressed int
+	findings, suppressed = applyDirectives(findings, dirs, allChecks)
+	stats.Suppressed = suppressed
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
 		if a.File != b.File {
@@ -155,7 +190,11 @@ func Run(root string, opts Options) ([]Finding, error) {
 		}
 		return a.Check < b.Check
 	})
-	return findings, nil
+	for _, f := range findings {
+		stats.FindingsPerCheck[f.Check]++
+	}
+	stats.WallMS = time.Since(start).Milliseconds() //soravet:allow wallclock lint wall-time for the -stat summary, never in artifacts
+	return findings, stats, nil
 }
 
 // selectChecks resolves names against the catalog, defaulting to the

@@ -26,6 +26,9 @@ func TestFixtures(t *testing.T) {
 		{"maporder", []string{"maporder"}},
 		{"nilrecv", []string{"nilrecv"}},
 		{"eventname", []string{"eventname"}},
+		{"poolsafe", []string{"poolsafe"}},
+		{"hotpath", []string{"hotpath"}},
+		{"racelist", []string{"racelist"}},
 		{"directive", nil},
 	}
 	for _, tt := range tests {
@@ -62,7 +65,7 @@ func TestFixtures(t *testing.T) {
 // //soravet:allow that suppresses a finding, which must therefore be
 // absent from the output.
 func TestFixtureSuppressionCounts(t *testing.T) {
-	for _, fixture := range []string{"wallclock", "globalrand", "maporder", "nilrecv", "eventname"} {
+	for _, fixture := range []string{"wallclock", "globalrand", "maporder", "nilrecv", "eventname", "poolsafe", "hotpath", "racelist"} {
 		findings, err := Run(filepath.Join("testdata", fixture), Options{})
 		if err != nil {
 			t.Fatalf("Run(%s): %v", fixture, err)
@@ -129,7 +132,7 @@ func TestMatchPatterns(t *testing.T) {
 }
 
 // TestCatalog pins the catalog shape the -list flag and DESIGN.md
-// document: five analysis checks plus the directive validator, each
+// document: eight analysis checks plus the directive validator, each
 // with a doc line.
 func TestCatalog(t *testing.T) {
 	cat := Catalog()
@@ -140,8 +143,62 @@ func TestCatalog(t *testing.T) {
 			t.Errorf("check %s has no doc line", c.Name)
 		}
 	}
-	want := "wallclock globalrand maporder nilrecv eventname directive"
+	want := "wallclock globalrand maporder nilrecv eventname poolsafe hotpath racelist directive"
 	if got := strings.Join(names, " "); got != want {
 		t.Errorf("catalog = %q, want %q", got, want)
+	}
+}
+
+// TestSeededBugs asserts the two regressions the deep checks exist to
+// catch are actually caught in the fixtures: the PR 6 class
+// stale-timer-handle bug (a re-arm callback that never nils its stored
+// handle) and an allocation inside a Timer.Reset-like AllocsPerRun-
+// pinned root. Goldens pin the full output; this test pins the intent,
+// so a future message rewrite cannot silently drop the detection.
+func TestSeededBugs(t *testing.T) {
+	cases := []struct {
+		fixture, check, file, needle string
+	}{
+		{"poolsafe", "poolsafe", "internal/app/app.go", "does not nil field timer"},
+		{"poolsafe", "poolsafe", "internal/app/app.go", "used after"},
+		{"hotpath", "hotpath", "internal/kernel/kernel.go", "allocates a closure"},
+		{"hotpath", "hotpath", "internal/kernel/kernel.go", "kernel.Timer.Reset"},
+	}
+	for _, c := range cases {
+		findings, err := Run(filepath.Join("testdata", c.fixture), Options{Checks: []string{c.check}})
+		if err != nil {
+			t.Fatalf("Run(%s): %v", c.fixture, err)
+		}
+		hit := false
+		for _, f := range findings {
+			if f.Check == c.check && f.File == c.file && strings.Contains(f.Msg, c.needle) {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			t.Errorf("%s: no %s finding in %s containing %q", c.fixture, c.check, c.file, c.needle)
+		}
+	}
+}
+
+// TestRunStats covers the -stat summary: file/package counts, per-check
+// tallies, and the suppression counter all come from one scan.
+func TestRunStats(t *testing.T) {
+	findings, stats, err := RunWithStats(filepath.Join("testdata", "racelist"), Options{Checks: []string{"racelist"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Files == 0 || stats.Packages == 0 {
+		t.Errorf("stats scanned nothing: %+v", stats)
+	}
+	if got := stats.FindingsPerCheck["racelist"]; got != len(findings) {
+		t.Errorf("FindingsPerCheck[racelist] = %d, want %d", got, len(findings))
+	}
+	if stats.Suppressed == 0 {
+		t.Error("suppressed count = 0; the allowed fixture package should contribute one")
+	}
+	if len(stats.Timings) == 0 {
+		t.Error("no per-package type-check timings recorded")
 	}
 }

@@ -1,0 +1,72 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestLoadEdgeCases pins the loader's handling of the directory shapes
+// that are legal on disk but must not become packages: a directory
+// holding only _test.go files, a file excluded by an unsatisfiable
+// //go:build constraint (which references an undefined symbol, so
+// loading succeeds only if the exclusion really happens), and a
+// package whose every file is excluded.
+func TestLoadEdgeCases(t *testing.T) {
+	m, err := LoadModule(filepath.Join("testdata", "loader", "edge"))
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	byPath := make(map[string]*Package)
+	for _, p := range m.Pkgs {
+		byPath[p.ImportPath] = p
+	}
+	if _, ok := byPath["sora/internal/onlytest"]; ok {
+		t.Error("package with only _test.go files was loaded; the loader must skip it")
+	}
+	if _, ok := byPath["sora/internal/allexcluded"]; ok {
+		t.Error("package with every file build-tag-excluded was loaded; the loader must drop it")
+	}
+	tagged, ok := byPath["sora/internal/tagged"]
+	if !ok {
+		t.Fatal("package tagged missing from the load")
+	}
+	if len(tagged.Files) != 1 {
+		t.Errorf("tagged has %d files, want 1 (excluded.go must be dropped by its constraint)", len(tagged.Files))
+	}
+	if _, ok := byPath["sora/internal/ok"]; !ok {
+		t.Error("plain package ok missing from the load")
+	}
+	if len(m.Timings) != len(m.Pkgs) {
+		t.Errorf("got %d timings for %d packages", len(m.Timings), len(m.Pkgs))
+	}
+}
+
+// TestLoadImportCycle pins that an intra-module import cycle is a
+// stable, descriptive error rather than a hang or stack overflow.
+func TestLoadImportCycle(t *testing.T) {
+	_, err := LoadModule(filepath.Join("testdata", "loader", "cycle"))
+	if err == nil || !strings.Contains(err.Error(), "import cycle") {
+		t.Errorf("LoadModule on a cyclic module: err = %v, want an import cycle error", err)
+	}
+}
+
+// TestBuildTagSatisfied covers the constraint evaluator behind the
+// loader's file exclusion.
+func TestBuildTagSatisfied(t *testing.T) {
+	cases := []struct {
+		tag  string
+		want bool
+	}{
+		{"gc", true},
+		{"go1.1", true},
+		{"go1.9999", false},
+		{"neverever", false},
+		{"gccgo", false},
+	}
+	for _, c := range cases {
+		if got := buildTagSatisfied(c.tag); got != c.want {
+			t.Errorf("buildTagSatisfied(%q) = %v, want %v", c.tag, got, c.want)
+		}
+	}
+}

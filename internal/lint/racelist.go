@@ -1,0 +1,96 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// checkRacelist keeps verify.sh's `go test -race` package list from
+// drifting: every internal/... package whose sources spawn goroutines
+// (a go statement) or use sync/atomic primitives (imports of "sync" or
+// "sync/atomic") must appear in the -race list. The check parses
+// verify.sh at the module root; a module without a verify.sh (fixtures,
+// vendored trees) has nothing to enforce and the check is silent.
+func checkRacelist(m *Module, p *Package, report reporter) {
+	racePkgs, ok := m.raceList()
+	if !ok {
+		return
+	}
+	if !strings.HasPrefix(p.RelDir, "internal/") && p.RelDir != "internal" {
+		return
+	}
+	pattern := "./" + p.RelDir
+	if racePkgs[pattern] {
+		return
+	}
+	pos, why := concurrencyEvidence(p)
+	if pos == token.NoPos {
+		return
+	}
+	report(pos, fmt.Sprintf(
+		"package %s %s but is missing from verify.sh's `go test -race` list; add %s there so the race detector covers it",
+		pattern, why, pattern))
+}
+
+// concurrencyEvidence returns the first sign the package has concurrent
+// code: a go statement, or an import of sync or sync/atomic.
+func concurrencyEvidence(p *Package) (token.Pos, string) {
+	pos := token.NoPos
+	why := ""
+	note := func(at token.Pos, what string) {
+		if pos == token.NoPos || at < pos {
+			pos, why = at, what
+		}
+	}
+	for _, f := range p.Files {
+		for _, spec := range f.Imports {
+			switch strings.Trim(spec.Path.Value, `"`) {
+			case "sync":
+				note(spec.Pos(), `imports "sync"`)
+			case "sync/atomic":
+				note(spec.Pos(), `imports "sync/atomic"`)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				note(g.Pos(), "spawns goroutines")
+			}
+			return true
+		})
+	}
+	return pos, why
+}
+
+// raceList parses verify.sh once per module for the ./-prefixed package
+// patterns on its `go test -race` invocation. ok is false when the
+// module has no verify.sh.
+func (m *Module) raceList() (map[string]bool, bool) {
+	if m.raceScan {
+		return m.racePkgs, m.racePkgs != nil
+	}
+	m.raceScan = true
+	data, err := os.ReadFile(filepath.Join(m.Root, "verify.sh"))
+	if err != nil {
+		return nil, false
+	}
+	pkgs := make(map[string]bool)
+	// Join backslash continuations so a wrapped -race invocation reads
+	// as one logical line.
+	script := strings.ReplaceAll(string(data), "\\\n", " ")
+	for _, line := range strings.Split(script, "\n") {
+		if !strings.Contains(line, "-race") {
+			continue
+		}
+		for _, tok := range strings.Fields(line) {
+			if strings.HasPrefix(tok, "./") {
+				pkgs[strings.TrimSuffix(tok, "/")] = true
+			}
+		}
+	}
+	m.racePkgs = pkgs
+	return pkgs, true
+}

@@ -2,7 +2,10 @@
 // themselves are validated.
 package tool
 
-import "time"
+import (
+	"math/rand/v2"
+	"time"
+)
 
 // Stamp reads the wall clock behind a valid, used directive; clean.
 func Stamp() time.Time {
@@ -26,3 +29,19 @@ var d = 4
 //
 //soravet:allow wallclock nothing on the next line reads the clock
 var e = 5
+
+// Multi reads the clock twice on one line; the single directive
+// suppresses BOTH findings — matching is all-findings-on-the-line, not
+// first-match.
+func Multi() (time.Time, time.Time) {
+	//soravet:allow wallclock one directive covers every same-check finding on its line
+	return time.Now(), time.Now()
+}
+
+// Mixed has two different checks firing on one line; the wallclock
+// directive suppresses only its own check, so the globalrand finding
+// survives into the golden.
+func Mixed() time.Time {
+	//soravet:allow wallclock mixed line: a directive never crosses check names
+	return time.Now().Add(time.Duration(rand.IntN(3)))
+}

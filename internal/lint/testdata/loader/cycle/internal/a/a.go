@@ -1,0 +1,8 @@
+// Package a imports b, which imports a: an import cycle the loader
+// must report instead of hanging or stack-overflowing.
+package a
+
+import "sora/internal/b"
+
+// A references b to keep the import live.
+const A = b.B + 1

@@ -1,0 +1,7 @@
+// Package b closes the cycle back to a.
+package b
+
+import "sora/internal/a"
+
+// B references a to keep the import live.
+const B = a.A + 1

@@ -1,0 +1,3 @@
+module sora
+
+go 1.22

@@ -1,0 +1,7 @@
+//go:build neverever
+
+// Package allexcluded has every file excluded by build constraints;
+// the loader must drop the package, not fail on an empty file list.
+package allexcluded
+
+var broken = thisSymbolDoesNotExist

@@ -1,0 +1,5 @@
+// Package ok is a plain loadable package.
+package ok
+
+// Two is a constant the loader type-checks.
+const Two = 2

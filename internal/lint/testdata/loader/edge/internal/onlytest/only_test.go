@@ -1,0 +1,7 @@
+// Package onlytest holds only a _test.go file; the loader must skip
+// the directory entirely rather than produce an empty package.
+package onlytest
+
+import "testing"
+
+func TestNothing(t *testing.T) {}

@@ -1,0 +1,7 @@
+//go:build neverever
+
+// This file references an undefined symbol, so loading succeeds only
+// if the build constraint actually excludes it.
+package tagged
+
+var broken = thisSymbolDoesNotExist

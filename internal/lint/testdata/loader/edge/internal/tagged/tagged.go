@@ -1,0 +1,6 @@
+// Package tagged has one always-built file and one excluded by an
+// unsatisfiable build constraint.
+package tagged
+
+// Kept is declared in the always-built file.
+const Kept = true

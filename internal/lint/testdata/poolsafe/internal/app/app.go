@@ -1,0 +1,150 @@
+// Package app is the consumer side of the poolsafe fixture: it seeds
+// every finding shape the three rules produce, their clean
+// counterparts, and a directive-suppressed variant.
+package app
+
+import "sora/internal/fakesim"
+
+// Generator re-creates the PR 6 stale-timer-handle bug: the armed
+// callback re-arms through g.timer without nilling it first, so at fire
+// time the stored handle may already be recycled under an unrelated
+// timer and the next Cancel through it kills someone else's event.
+type Generator struct {
+	k     *fakesim.Kernel
+	timer *fakesim.Handle
+	n     int
+}
+
+// Arm stores the issued handle; fire below violates nil-at-fire, so
+// this arm site is a finding.
+func (g *Generator) Arm() {
+	g.timer = g.k.Schedule(g.fire)
+}
+
+func (g *Generator) fire() {
+	g.n++
+	if g.n < 10 {
+		g.timer = g.k.Schedule(g.fire) // re-arm without clearing: finding
+	}
+}
+
+// Ticker is the compliant twin: fire clears the stored handle before
+// any call runs, satisfying the nil-at-fire contract. Clean.
+type Ticker struct {
+	k     *fakesim.Kernel
+	timer *fakesim.Handle
+	n     int
+}
+
+// Arm stores the issued handle behind a verified callback.
+func (t *Ticker) Arm() {
+	t.timer = t.k.Schedule(t.fire)
+}
+
+func (t *Ticker) fire() {
+	t.timer = nil
+	t.n++
+	if t.n < 10 {
+		t.timer = t.k.Schedule(t.fire)
+	}
+}
+
+// Repeater arms through a stored callback field (the shape
+// cluster.newVisit uses); the field is assigned exactly one method, so
+// the check resolves it and verifies that method's body. Clean.
+type Repeater struct {
+	k      *fakesim.Kernel
+	timer  *fakesim.Handle
+	fireFn func()
+}
+
+// NewRepeater binds the callback once so arming allocates no closure.
+func NewRepeater(k *fakesim.Kernel) *Repeater {
+	r := &Repeater{k: k}
+	r.fireFn = r.fire
+	return r
+}
+
+// Arm stores the issued handle behind the bound callback field.
+func (r *Repeater) Arm() {
+	r.timer = r.k.Schedule(r.fireFn)
+}
+
+func (r *Repeater) fire() {
+	r.timer = nil
+	r.timer = r.k.Schedule(r.fireFn)
+}
+
+// ArmDynamic cannot be verified: the callback arrives through a
+// parameter the module-wide index has no assignment for. Finding.
+func ArmDynamic(g *Generator, fn func()) {
+	g.timer = g.k.Schedule(fn)
+}
+
+// UseAfterCancel reads the handle after Cancel ran on one branch; the
+// may-analysis flags the read because the invalid path reaches it.
+func UseAfterCancel(k *fakesim.Kernel, cond bool) bool {
+	h := k.Schedule(func() {})
+	if cond {
+		h.Cancel()
+	}
+	return h.Pending()
+}
+
+// Reissue is the clean counterpart: reassignment revalidates the
+// handle before the next read.
+func Reissue(k *fakesim.Kernel) bool {
+	h := k.Schedule(func() {})
+	h.Cancel()
+	h = k.Schedule(func() {})
+	return h.Pending()
+}
+
+// ReleaseDirect invalidates through the owner-side method; the
+// argument form is tracked the same as the receiver form, so the
+// second call reads a dead handle. Finding.
+func ReleaseDirect(k *fakesim.Kernel) {
+	h := k.Schedule(func() {})
+	k.Release(h)
+	h.Cancel()
+}
+
+// CancelTwice cancels inside a loop: the back edge carries the
+// invalidated state into the next iteration's receiver read. Finding.
+func CancelTwice(k *fakesim.Kernel) {
+	h := k.Schedule(func() {})
+	for i := 0; i < 2; i++ {
+		h.Cancel()
+	}
+}
+
+// Box is a struct outside the pool's package; parking a handle in it
+// escapes the lifetime analysis.
+type Box struct {
+	held *fakesim.Handle
+}
+
+var parked []*fakesim.Handle
+
+// Park seeds every escaping-store shape: field store, map element,
+// append, and composite literals. All findings.
+func Park(k *fakesim.Kernel, b *Box, m map[int]*fakesim.Handle) {
+	h := k.Schedule(func() {})
+	b.held = h
+	m[0] = h
+	parked = append(parked, h)
+	_ = []*fakesim.Handle{h}
+	_ = &Box{held: h}
+}
+
+// ParkAllowed is the suppressed variant of the append store.
+func ParkAllowed(k *fakesim.Kernel) {
+	h := k.Schedule(func() {})
+	parked = append(parked, h) //soravet:allow poolsafe fixture demonstrates an annotated deliberate escape
+}
+
+// Leak returns the handle past its owner's scope; callers cannot see
+// the invalidated-by contract. Finding.
+func Leak(k *fakesim.Kernel) *fakesim.Handle {
+	return k.Schedule(func() {})
+}

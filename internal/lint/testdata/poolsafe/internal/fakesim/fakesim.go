@@ -1,0 +1,45 @@
+// Package fakesim is the pool-owner side of the poolsafe fixture: a
+// miniature timer kernel with the same free-list recycling discipline
+// as internal/sim, so the consumer package can seed the PR 6 class of
+// stale-handle bugs against a realistic contract.
+package fakesim
+
+// Handle is the pooled handle, the fixture twin of sim.Timer.
+//
+//soravet:pool Handle invalidated-by Cancel,Kernel.Release fixture free list recycles the struct; a later Schedule may reissue it
+type Handle struct {
+	fn func()
+	k  *Kernel
+}
+
+// Pending reports whether the handle still has a callback armed.
+func (h *Handle) Pending() bool { return h.fn != nil }
+
+// Kernel issues and recycles handles.
+type Kernel struct {
+	free []*Handle
+}
+
+// Schedule issues a handle that will run fn; the struct may be one
+// recycled from an earlier Cancel or Release.
+func (k *Kernel) Schedule(fn func()) *Handle {
+	if n := len(k.free); n > 0 {
+		h := k.free[n-1]
+		k.free[n-1] = nil
+		k.free = k.free[:n-1]
+		h.fn = fn
+		return h
+	}
+	return &Handle{fn: fn, k: k}
+}
+
+// Cancel returns the handle to the pool; the handle is dead after.
+func (h *Handle) Cancel() {
+	h.fn = nil
+	h.k.Release(h)
+}
+
+// Release free-lists a handle for reissue (the owner-side invalidator).
+func (k *Kernel) Release(h *Handle) {
+	k.free = append(k.free, h)
+}

@@ -1,0 +1,9 @@
+// Command tool spawns goroutines but lives outside internal/; the
+// check only governs internal packages.
+package main
+
+func main() {
+	done := make(chan struct{})
+	go close(done)
+	<-done
+}

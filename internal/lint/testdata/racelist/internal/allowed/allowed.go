@@ -1,0 +1,9 @@
+// Package allowed spawns goroutines outside the -race list but
+// carries a directive; the finding is suppressed.
+package allowed
+
+// Run fans work out.
+func Run(fn func()) {
+	//soravet:allow racelist fixture demonstrates a deliberate exclusion from the race list
+	go fn()
+}

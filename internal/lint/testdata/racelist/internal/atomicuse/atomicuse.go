@@ -1,0 +1,8 @@
+// Package atomicuse imports sync/atomic but is absent from the -race
+// list. Finding.
+package atomicuse
+
+import "sync/atomic"
+
+// Bump increments a shared counter.
+func Bump(n *int64) { atomic.AddInt64(n, 1) }

@@ -1,0 +1,8 @@
+// Package missing spawns goroutines but is absent from the -race
+// list. Finding.
+package missing
+
+// Run fans work out.
+func Run(fn func()) {
+	go fn()
+}

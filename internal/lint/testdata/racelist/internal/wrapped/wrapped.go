@@ -1,0 +1,18 @@
+// Package wrapped uses sync and appears on the continuation line of
+// the -race invocation. Clean.
+package wrapped
+
+import "sync"
+
+// Counter is a mutex-guarded counter.
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Add increments the counter.
+func (c *Counter) Add() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}

@@ -1,0 +1,12 @@
+#!/bin/sh
+# Fixture verify.sh: the racelist check parses the -race invocation
+# below, including the backslash-continued package list.
+set -eu
+
+go test ./...
+
+go test -race -short \
+	./internal/covered \
+	./internal/wrapped
+
+echo OK

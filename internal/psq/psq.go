@@ -71,6 +71,8 @@ func (s JobState) String() string {
 // until the job reaches a terminal state (done or aborted); after that the
 // server recycles the struct for future Submits, so terminal handles must
 // not be inspected once any later Submit has happened.
+//
+//soravet:pool Job invalidated-by Server.Abort handle dead at terminal state; Abort free-lists the struct immediately and completion recycles via the onDone callback
 type Job struct {
 	doneKey   float64 // attained-service value at which the job completes
 	remaining float64 // valid only while suspended
@@ -274,6 +276,8 @@ func (s *Server) reschedule() {
 
 // complete pops every job whose demand has been attained (to within
 // completionMargin) and invokes their callbacks after rescheduling.
+//
+//soravet:hotpath BenchmarkRequestPath completion side of the psq pin: runs once per batch of attained jobs, zero-alloc at steady state
 func (s *Server) complete() {
 	// The fired timer struct is already back on the kernel free list;
 	// drop the handle before anything below can schedule and reuse it.
@@ -285,10 +289,10 @@ func (s *Server) complete() {
 		j := s.jobPop()
 		j.state = StateDone
 		if j.onDone != nil {
-			fns = append(fns, j.onDone)
+			fns = append(fns, j.onDone) //soravet:allow hotpath fns reuses the doneFns scratch buffer; grows only while the per-instant completion batch high-water mark rises
 			j.onDone = nil
 		}
-		s.free = append(s.free, j)
+		s.free = append(s.free, j) //soravet:allow hotpath free-list append reuses capacity at steady state; grows only while the live-job high-water mark rises
 	}
 	s.reschedule()
 	for i, fn := range fns {
@@ -306,6 +310,8 @@ func (s *Server) complete() {
 // event ordering) even when the server has no cores. Demand below zero is
 // clamped to zero. The Job struct may be one recycled from an earlier
 // terminal job; see the handle-validity note on Job.
+//
+//soravet:hotpath BenchmarkRequestPath admission side of the psq pin: one Submit per simulated request hop, zero-alloc once the free list warms
 func (s *Server) Submit(demand time.Duration, onDone func()) *Job {
 	if demand < 0 {
 		demand = 0
@@ -317,7 +323,7 @@ func (s *Server) Submit(demand time.Duration, onDone func()) *Job {
 		s.free[n-1] = nil
 		s.free = s.free[:n-1]
 	} else {
-		j = &Job{}
+		j = &Job{} //soravet:allow hotpath pool miss: allocates only while the live-job high-water mark rises, then the free list serves every Submit
 	}
 	j.doneKey = s.attained + demand.Seconds()
 	j.remaining = 0
@@ -439,7 +445,7 @@ func (s *Server) Efficiency() float64 {
 
 // jobPush adds j to the runnable heap.
 func (s *Server) jobPush(j *Job) {
-	s.runnable = append(s.runnable, j)
+	s.runnable = append(s.runnable, j) //soravet:allow hotpath heap append reuses capacity at steady state; grows only while the runnable-set high-water mark rises
 	s.jobSiftUp(len(s.runnable) - 1)
 }
 

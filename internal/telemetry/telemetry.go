@@ -210,7 +210,7 @@ func (r *Recorder) Publish(at sim.Time, kind string, attrs ...Attr) {
 		return
 	}
 	r.mu.Lock()
-	r.events = append(r.events, Event{At: at, Kind: kind, Attrs: attrs})
+	r.events = append(r.events, Event{At: at, Kind: kind, Attrs: attrs}) //soravet:allow hotpath event log append: reachable from the request path only via rate-limited publishers (see cluster.noteDrop), never per request
 	r.mu.Unlock()
 }
 

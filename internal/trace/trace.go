@@ -21,6 +21,8 @@ type ID uint64
 
 // Span records one service visit within a request's execution tree. All
 // timestamps are virtual times.
+//
+//soravet:pool Span invalidated-by none spans are carved from cluster arena slabs and never recycled individually; a handle stays valid for the trace's retention window, after which the whole slab is collected
 type Span struct {
 	Service  string // logical service name (e.g. "cart")
 	Instance string // pod identity (e.g. "cart-0")

@@ -14,11 +14,17 @@
 # `go vet ./...` covers every cmd/ (including cmd/tracedig) and
 # internal/ package; `soravet` (see internal/lint and DESIGN.md §Static
 # analysis) machine-checks the repo-specific invariants vet cannot:
-# wallclock, globalrand, maporder, nilrecv, eventname. The final smoke
-# steps share one sorabench build: the kernel bench suite in quick mode
-# and the regression sentinel (scripts/regress.sh -quick), which checks
-# the deterministic goodput/p99 metrics of a pinned chaos-scenario
-# suite against the checked-in BASELINE.json.
+# wallclock, globalrand, maporder, nilrecv, eventname, plus the
+# flow-aware poolsafe/hotpath analyses and the racelist drift check
+# (which parses this script's -race line, so the package list below can
+# never silently lag a package gaining concurrency). The soravet step
+# runs through scripts/lintstat.sh, which appends a one-line JSON scan
+# summary (files, findings per check, suppressions, wall ms) to the
+# output. The final smoke steps share one sorabench build: the kernel
+# bench suite in quick mode and the regression sentinel
+# (scripts/regress.sh -quick), which checks the deterministic
+# goodput/p99 metrics of a pinned chaos-scenario suite against the
+# checked-in BASELINE.json.
 set -eu
 cd "$(dirname "$0")"
 
@@ -33,8 +39,8 @@ fi
 echo "== go vet ./..."
 go vet ./...
 
-echo "== soravet ./..."
-go run ./cmd/soravet ./...
+echo "== soravet ./... (via scripts/lintstat.sh)"
+sh scripts/lintstat.sh
 
 echo "== go build ./..."
 go build ./...
@@ -43,7 +49,7 @@ echo "== go test ./..."
 go test ./...
 
 echo "== go test -race (concurrent packages)"
-go test -race -short ./internal/experiment ./internal/sim ./internal/telemetry ./internal/profile ./internal/cluster ./internal/trace ./internal/fault ./internal/metrics ./internal/stats ./internal/compare
+go test -race -short ./internal/experiment ./internal/sim ./internal/telemetry ./internal/profile ./internal/cluster ./internal/trace ./internal/fault ./internal/metrics ./internal/stats ./internal/compare ./internal/lint
 
 # The bench smoke and the regression sentinel both run sorabench; build
 # it once and share the binary instead of paying two `go run` compiles.
