@@ -24,6 +24,7 @@ import (
 	"sora/internal/core"
 	"sora/internal/fault"
 	"sora/internal/metrics"
+	"sora/internal/node"
 	"sora/internal/profile"
 	"sora/internal/sim"
 	"sora/internal/telemetry"
@@ -56,6 +57,13 @@ func run() error {
 		psConns     = flag.Int("ps-conns", 10, "social network: connections to post-storage")
 		psCores     = flag.Float64("ps-cores", 2, "social network: post-storage CPU limit")
 		heavy       = flag.Bool("heavy", false, "social network: heavy (10-post) reads")
+
+		nodes     = flag.Int("nodes", 0, "deploy on a simulated N-node control plane (0 = legacy instant-pod model)")
+		nodeCores = flag.Float64("node-cores", 32, "control plane: CPU cores per node")
+		coldStart = flag.Duration("coldstart", time.Second, "control plane: pod cold-start budget (scheduling + image pull + warmup)")
+		epLag     = flag.Duration("endpoint-lag", 500*time.Millisecond, "control plane: endpoint-propagation delay before membership changes reach the balancers")
+		lbName    = flag.String("lb", "rr", "control plane: replica load balancer: rr | least | p2c")
+		schedName = flag.String("sched", "spread", "control plane: placement policy: firstfit | spread | binpack")
 
 		faultPlan = flag.String("fault-plan", "", "inject the named deterministic fault plan (see internal/fault.Names); installs the app's default resilience policies")
 		strategy  = flag.String("strategy", "static", "management strategy: static | autoscaler | sora — autoscaler wires the app's hardware scaler (FIRM/HPA), sora adds the SCG pool controller on top")
@@ -131,9 +139,32 @@ func run() error {
 			telemetry.Int64("seed", int64(*seed)),
 			telemetry.Int("users", *users),
 			telemetry.Float("dur_s", duration.Seconds()),
+			telemetry.Int("nodes", *nodes),
 		)
 	}
-	c, err := cluster.New(k, app, cluster.Options{Telemetry: rec})
+	var ctrl *node.Config
+	if *nodes > 0 {
+		policy, err := node.ParsePolicy(*schedName)
+		if err != nil {
+			return err
+		}
+		lb, err := node.ParseLB(*lbName)
+		if err != nil {
+			return err
+		}
+		sched, pull, warmup := node.SplitColdStart(*coldStart)
+		ctrl = &node.Config{
+			Nodes:       *nodes,
+			NodeCores:   *nodeCores,
+			Policy:      policy,
+			SchedDelay:  sched,
+			PullDelay:   pull,
+			WarmDelay:   warmup,
+			EndpointLag: *epLag,
+			LB:          lb,
+		}
+	}
+	c, err := cluster.New(k, app, cluster.Options{Telemetry: rec, ControlPlane: ctrl})
 	if err != nil {
 		return err
 	}
@@ -253,6 +284,8 @@ func run() error {
 				ClampSize: 4,
 			}
 		}
+		// Node-level plans need the simulated control plane.
+		targets.NodeFaults = *nodes > 0
 		if err := topology.ApplyResilience(c, policies); err != nil {
 			return err
 		}
@@ -374,6 +407,10 @@ func run() error {
 				compare.Str("trace", *traceName),
 				compare.Str("duration", duration.String()),
 				compare.Str("timeline_window", tlWindow.String()),
+				compare.Int("nodes", int64(*nodes)),
+				compare.Str("coldstart", coldStart.String()),
+				compare.Str("endpoint_lag", epLag.String()),
+				compare.Str("lb", *lbName),
 			},
 			artifactPaths(*telDir, *runID, *tlFile, *foldedOut, *archive)); err != nil {
 			return fmt.Errorf("manifest: %w", err)
@@ -389,6 +426,10 @@ func run() error {
 	wall := time.Since(start).Round(time.Millisecond) //soravet:allow wallclock CLI reports real elapsed wall time alongside virtual-time results
 	fmt.Printf("app=%s mix=%s duration=%v seed=%d (wall %v, %d events)\n",
 		app.Name, *mixName, *duration, *seed, wall, k.Processed())
+	if ctrl != nil {
+		fmt.Printf("control plane: %d nodes × %g cores, coldstart=%v endpoint-lag=%v lb=%s sched=%s\n",
+			*nodes, *nodeCores, *coldStart, *epLag, *lbName, *schedName)
+	}
 	fmt.Printf("completed=%d dropped=%d throughput=%.0f req/s\n",
 		c.Completed(), c.Dropped(), e2e.ThroughputRate(warm, end))
 	if eng != nil {

@@ -20,6 +20,7 @@ import (
 
 	"sora/internal/dist"
 	"sora/internal/metrics"
+	"sora/internal/node"
 	"sora/internal/sim"
 	"sora/internal/telemetry"
 	"sora/internal/trace"
@@ -227,6 +228,14 @@ type Options struct {
 	// disables telemetry at zero cost (every publish site is a nil
 	// check).
 	Telemetry *telemetry.Recorder
+	// ControlPlane, when non-nil, puts the deployment on a simulated
+	// multi-node control plane (see internal/node and ctrlplane.go):
+	// pods are scheduled onto finite worker nodes, cold-start before
+	// serving, and are routed to through lagged endpoint views with a
+	// replica-level load balancer. Nil keeps the legacy model — instant
+	// placement, immediate readiness, single-cursor round-robin — with
+	// byte-identical behaviour to clusters predating the control plane.
+	ControlPlane *node.Config
 }
 
 // Cluster is a running simulated deployment of an App.
@@ -285,6 +294,10 @@ type Cluster struct {
 	// telemetry recorder (see flight.go). Nil costs one pointer test on
 	// the e2e completion path.
 	flight *FlightRecorder
+
+	// cp, when non-nil, is the control plane (see ctrlplane.go). Nil
+	// costs one pointer test per dispatch.
+	cp *ControlPlane
 }
 
 // New deploys app onto a fresh simulated cluster driven by kernel k.
@@ -314,6 +327,15 @@ func New(k *sim.Kernel, app App, opts Options) (*Cluster, error) {
 		tel:       opts.Telemetry,
 		dropWins:  make(map[string]*dropWindow),
 		retryWins: make(map[edgeKey]*retryWindow),
+	}
+	if opts.ControlPlane != nil {
+		// Build the control plane before the services: every initial pod
+		// must go through the scheduler and cold start.
+		cp, err := newControlPlane(c, *opts.ControlPlane)
+		if err != nil {
+			return nil, err
+		}
+		c.cp = cp
 	}
 	for _, spec := range app.Services {
 		svc := newService(c, spec)

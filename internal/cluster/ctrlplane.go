@@ -1,0 +1,308 @@
+package cluster
+
+import (
+	"math/rand/v2"
+	"strings"
+	"time"
+
+	"sora/internal/node"
+	"sora/internal/telemetry"
+)
+
+// This file wires the internal/node control plane into the cluster.
+// With Options.ControlPlane nil everything here is dormant and the
+// cluster behaves exactly as before: pods exist the instant a service
+// scales, every pod serves immediately, and dispatch is the legacy
+// round-robin in Service.pick — byte-identical artifacts with older
+// runs. With a control plane configured:
+//
+//   - every pod (initial deployment, scale-up, crash replacement) is a
+//     node.Fleet pod: it reserves cores on a worker node chosen by the
+//     scheduling policy and cold-starts (scheduled → pulling → warming
+//     → ready) before it may serve;
+//   - routing uses a per-service *endpoint view* that trails the truth
+//     by Config.EndpointLag: a pod becoming ready, crashing, draining
+//     or terminating only (dis)appears from dispatch one lag later,
+//     so requests keep landing on dead endpoints (connection refused →
+//     the caller's retry/breaker policy) until propagation catches up;
+//   - the replica-level load balancer (round-robin / least-loaded /
+//     power-of-two-choices) replaces single-cursor dispatch, with the
+//     p2c draws on a dedicated Kernel.Split stream for determinism.
+
+// cpLBLabel seeds the load balancer's power-of-two-choices stream; like
+// every cluster stream it is derived from (seed, label) only.
+const cpLBLabel = 0x10ad
+
+// ControlPlane binds a node fleet to the cluster: placement, cold
+// start, endpoint propagation and replica-level load balancing. Obtain
+// it from Cluster.ControlPlane; it is nil unless the cluster was built
+// with Options.ControlPlane.
+type ControlPlane struct {
+	c     *Cluster
+	fleet *node.Fleet
+	lag   time.Duration
+	lb    node.LBPolicy
+	rng   *rand.Rand
+
+	// pods maps fleet pods back to their instances for node-level fault
+	// handling (iteration is over the fleet's returned slices, never the
+	// map, so ordering stays deterministic).
+	pods map[*node.Pod]*Instance
+
+	// stalled freezes endpoint propagation (the KindEndpointStall
+	// fault): membership changes mark their service stale and are
+	// applied in one batch when the stall lifts.
+	stalled bool
+}
+
+func newControlPlane(c *Cluster, cfg node.Config) (*ControlPlane, error) {
+	fleet, err := node.NewFleet(c.k, cfg, c.tel)
+	if err != nil {
+		return nil, err
+	}
+	return &ControlPlane{
+		c:     c,
+		fleet: fleet,
+		lag:   cfg.EndpointLag,
+		lb:    cfg.LB,
+		rng:   c.k.Split(cpLBLabel),
+		pods:  make(map[*node.Pod]*Instance),
+	}, nil
+}
+
+// ControlPlane returns the cluster's control plane, or nil when the
+// cluster was built without one (instant placement, legacy dispatch).
+func (c *Cluster) ControlPlane() *ControlPlane { return c.cp }
+
+// Fleet returns the underlying node fleet.
+func (cp *ControlPlane) Fleet() *node.Fleet { return cp.fleet }
+
+// NodeCount returns the worker-node count.
+func (cp *ControlPlane) NodeCount() int { return cp.fleet.NodeCount() }
+
+// launch routes a new instance through the scheduler and cold start:
+// the pod serves nothing until it is ready AND the ready transition has
+// propagated into its service's endpoint view.
+func (cp *ControlPlane) launch(in *Instance) {
+	in.ready = false
+	p := cp.fleet.Launch(in.svc.name, in.id, in.svc.spec.Cores, func(*node.Pod) {
+		in.ready = true
+		cp.noteChange(in.svc)
+	})
+	in.pod = p
+	cp.pods[p] = in
+}
+
+// terminate finalizes a reaped (drained-and-idle) instance: the pod's
+// reservation is released and stale routes to it are refused like any
+// other dead endpoint until the removal propagates.
+func (cp *ControlPlane) terminate(in *Instance) {
+	in.down = true
+	if in.pod != nil {
+		delete(cp.pods, in.pod)
+		cp.fleet.Forget(in.pod)
+		in.pod = nil
+	}
+	cp.noteChange(in.svc)
+}
+
+// noteChange schedules an endpoint-view recompute for svc one
+// propagation lag from now. Each membership change schedules its own
+// update — the view applied at t+lag reflects the truth at t+lag, so
+// every change is visible exactly lag after it happened. During a
+// propagation stall changes only mark the service stale.
+func (cp *ControlPlane) noteChange(svc *Service) {
+	if cp.stalled {
+		svc.epStale = true
+		return
+	}
+	cp.c.k.Schedule(cp.lag, func() { cp.applyEndpoints(svc) })
+}
+
+// applyEndpoints recomputes one service's endpoint view from current
+// truth and publishes endpoints.update when it actually changed.
+func (cp *ControlPlane) applyEndpoints(svc *Service) {
+	if cp.stalled {
+		svc.epStale = true
+		return
+	}
+	eps := make([]*Instance, 0, len(svc.instances))
+	for _, in := range svc.instances {
+		if in.ready && !in.down && !in.draining {
+			eps = append(eps, in)
+		}
+	}
+	if endpointsEqual(eps, svc.endpoints) {
+		return
+	}
+	svc.endpoints = eps
+	if tel := cp.c.tel; tel != nil {
+		ids := make([]string, len(eps))
+		for i, in := range eps {
+			ids[i] = in.id
+		}
+		tel.Publish(cp.c.k.Now(), "endpoints.update",
+			telemetry.String("service", svc.name),
+			telemetry.Int("count", len(eps)),
+			telemetry.String("pods", strings.Join(ids, ",")))
+	}
+}
+
+func endpointsEqual(a, b []*Instance) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// pick is the replica-level load balancer: it chooses among the
+// service's *propagated* endpoints, which may still include pods that
+// just crashed or began draining (they refuse, and the caller's
+// resilience policy takes over) and not yet include pods that just
+// became ready. An empty view refuses the visit outright.
+func (cp *ControlPlane) pick(s *Service) *Instance {
+	eps := s.endpoints
+	n := len(eps)
+	if n == 0 {
+		return nil
+	}
+	switch cp.lb {
+	case node.LBLeastLoaded:
+		best := eps[0]
+		for _, in := range eps[1:] {
+			if in.active < best.active {
+				best = in
+			}
+		}
+		return best
+	case node.LBPowerOfTwo:
+		if n == 1 {
+			return eps[0]
+		}
+		i := cp.rng.IntN(n)
+		j := cp.rng.IntN(n - 1)
+		if j >= i {
+			j++
+		}
+		a, b := eps[i], eps[j]
+		if b.active < a.active {
+			return b
+		}
+		return a
+	default: // node.LBRoundRobin
+		in := eps[s.rr%n]
+		s.rr++
+		return in
+	}
+}
+
+// CrashNode fails worker node i: every resident pod dies mid-whatever
+// (queued work refused, in-flight responses lost), and for each victim
+// a replacement pod is launched — scheduled on the surviving nodes,
+// cold-started, and routed to only after endpoint propagation. The
+// node accepts no placements until RestoreNode.
+func (cp *ControlPlane) CrashNode(i int) {
+	for _, p := range cp.fleet.CrashNode(i) {
+		in := cp.pods[p]
+		if in == nil {
+			continue
+		}
+		delete(cp.pods, p)
+		in.pod = nil
+		svc := in.svc
+		in.Crash()
+		svc.removeInstance(in)
+		cp.noteChange(svc)
+		// The ReplicaSet notices the lost pod and recreates it (unless
+		// the service is already at or above its declared replicas, e.g.
+		// because it was scaling down anyway).
+		if svc.Replicas() < svc.spec.Replicas {
+			svc.addInstance()
+		}
+	}
+}
+
+// RestoreNode brings a crashed node back empty. Pods waiting in the
+// scheduler's pending queue may place onto it immediately.
+func (cp *ControlPlane) RestoreNode(i int) { cp.fleet.RestoreNode(i) }
+
+// DrainNode cordons node i and evicts its pods gracefully: each
+// resident pod starts draining (serving its admitted work, receiving
+// nothing new once the change propagates) while a replacement is
+// launched on the remaining nodes. The node takes no new pods until
+// UncordonNode.
+func (cp *ControlPlane) DrainNode(i int) {
+	for _, p := range cp.fleet.DrainNode(i) {
+		in := cp.pods[p]
+		if in == nil || in.draining {
+			continue
+		}
+		in.draining = true
+		cp.noteChange(in.svc)
+		in.svc.addInstance()
+		if in.idle() {
+			in.svc.reap()
+		}
+	}
+}
+
+// UncordonNode reopens a drained node for scheduling.
+func (cp *ControlPlane) UncordonNode(i int) { cp.fleet.UncordonNode(i) }
+
+// SetEndpointStall freezes (true) or resumes (false) endpoint
+// propagation cluster-wide — the kube-proxy/endpoint-controller outage
+// fault. While stalled, routing keeps using the last propagated views;
+// lifting the stall applies every missed change in service declaration
+// order.
+func (cp *ControlPlane) SetEndpointStall(on bool) {
+	cp.stalled = on
+	if on {
+		return
+	}
+	for _, name := range cp.c.order {
+		svc := cp.c.services[name]
+		if svc.epStale {
+			svc.epStale = false
+			cp.applyEndpoints(svc)
+		}
+	}
+}
+
+// Stalled reports whether endpoint propagation is frozen.
+func (cp *ControlPlane) Stalled() bool { return cp.stalled }
+
+// placement renders one service's pod→node assignment, in instance
+// creation order: "cart-0@node-1,cart-2@node-0", with "-" for pods the
+// scheduler has not placed yet. soradiff compares this string across
+// runs to find the first window where placement diverges.
+func (cp *ControlPlane) placement(svc *Service) string {
+	var b strings.Builder
+	for i, in := range svc.instances {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(in.id)
+		b.WriteByte('@')
+		if in.pod != nil {
+			b.WriteString(in.pod.NodeName())
+		} else {
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}
+
+// Placement renders the pod→node assignment of the named service (see
+// placement); unknown services yield "".
+func (cp *ControlPlane) Placement(service string) string {
+	svc, ok := cp.c.services[service]
+	if !ok {
+		return ""
+	}
+	return cp.placement(svc)
+}

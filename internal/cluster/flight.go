@@ -225,7 +225,7 @@ func (f *FlightRecorder) flush(now sim.Time) {
 			poolSize, _ = c.PoolSize(t.ref)
 			poolUsed, _ = c.PoolInUse(t.ref)
 		}
-		tel.Publish(now, "timeline.window",
+		attrs := []telemetry.Attr{
 			telemetry.String("service", svc.name),
 			telemetry.Float("p50_ms", t.sketch.QuantileOr(50, 0)),
 			telemetry.Float("p95_ms", t.sketch.QuantileOr(95, 0)),
@@ -240,7 +240,15 @@ func (f *FlightRecorder) flush(now sim.Time) {
 			telemetry.Int("pool_size", poolSize),
 			telemetry.Int("pool_used", poolUsed),
 			telemetry.Float("util", util),
-		)
+		}
+		if c.cp != nil {
+			// Control-plane runs carry the pod→node assignment so
+			// soradiff can report the first window where placement
+			// diverges between two runs. Absent without a control plane,
+			// keeping legacy timelines byte-identical.
+			attrs = append(attrs, telemetry.String("placement", c.cp.placement(svc)))
+		}
+		tel.Publish(now, "timeline.window", attrs...)
 		t.sketch.Reset()
 		t.arrivals, t.completions, t.drops = 0, 0, 0
 		t.prevBusy, t.prevCap = busy, capacity

@@ -88,6 +88,12 @@ func (c *Cluster) SetReplicas(service string, n int) error {
 		}
 		svc.reap()
 	}
+	if c.cp != nil {
+		// Draining flips (and un-drains) change membership truth; new
+		// pods propagate on their own once ready. One recompute at +lag
+		// covers the whole batch.
+		c.cp.noteChange(svc)
+	}
 	return nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"sora/internal/metrics"
+	"sora/internal/node"
 	"sora/internal/psq"
 	"sora/internal/sim"
 )
@@ -26,6 +27,15 @@ type Service struct {
 	// this service's window counters and latency sketch (see flight.go).
 	// Nil costs one pointer test per arrival/completion/drop.
 	flight *flightTrack
+
+	// endpoints is the propagated routing view in control-plane mode:
+	// the instances the load balancer may pick, trailing membership
+	// truth by the endpoint-propagation lag (see ctrlplane.go). Unused
+	// (nil) in the legacy instant-dispatch model. epStale marks a
+	// membership change swallowed by a propagation stall, applied when
+	// the stall lifts.
+	endpoints []*Instance
+	epStale   bool
 }
 
 func newService(c *Cluster, spec ServiceSpec) *Service {
@@ -69,18 +79,54 @@ func (s *Service) Instances() []*Instance {
 	return out
 }
 
+// Endpoints returns the propagated routing view in control-plane mode:
+// the pods the load balancer currently routes to, which can trail the
+// membership truth by the endpoint lag. Empty (and unused) without a
+// control plane.
+func (s *Service) Endpoints() []*Instance {
+	out := make([]*Instance, len(s.endpoints))
+	copy(out, s.endpoints)
+	return out
+}
+
 func (s *Service) addInstance() *Instance {
 	in := newInstance(s, fmt.Sprintf("%s-%d", s.name, s.nextID))
 	s.nextID++
 	s.instances = append(s.instances, in)
+	if cp := s.c.cp; cp != nil {
+		// Control-plane mode: the pod must be scheduled onto a node and
+		// cold-start before it is ready, and its readiness must propagate
+		// before it receives traffic.
+		cp.launch(in)
+	}
 	return in
 }
 
-// pick selects the pod for a new request: round-robin over non-draining
-// live pods, matching the default kube-proxy behaviour. Crashed pods
-// are skipped; with every pod down it returns nil and the call is
-// refused.
+// removeInstance permanently deletes one instance (node-crash victims
+// in control-plane mode; replacement is a fresh pod, never a Restore).
+func (s *Service) removeInstance(in *Instance) {
+	kept := s.instances[:0]
+	for _, x := range s.instances {
+		if x != in {
+			kept = append(kept, x)
+		}
+	}
+	for i := len(kept); i < len(s.instances); i++ {
+		s.instances[i] = nil
+	}
+	s.instances = kept
+}
+
+// pick selects the pod for a new request. In control-plane mode the
+// replica-level load balancer chooses among the service's propagated
+// endpoints (see ControlPlane.pick) — possibly stale, possibly empty.
+// Otherwise: round-robin over non-draining live pods, matching the
+// default kube-proxy behaviour. Crashed pods are skipped; with every
+// pod down it returns nil and the call is refused.
 func (s *Service) pick() *Instance {
+	if cp := s.c.cp; cp != nil {
+		return cp.pick(s)
+	}
 	n := len(s.instances)
 	for i := 0; i < n; i++ {
 		in := s.instances[s.rr%n]
@@ -109,6 +155,9 @@ func (s *Service) reap() {
 	kept := s.instances[:0]
 	for _, in := range s.instances {
 		if in.draining && in.idle() {
+			if cp := s.c.cp; cp != nil {
+				cp.terminate(in)
+			}
 			continue
 		}
 		kept = append(kept, in)
@@ -237,6 +286,14 @@ type Instance struct {
 
 	draining bool
 
+	// Control-plane state. ready gates serving: always true in the
+	// legacy model; in control-plane mode it flips true when the pod
+	// finishes its cold start (requests routed to a not-yet-ready pod
+	// via a stale endpoint view are refused). pod is the fleet record
+	// backing this instance (nil in the legacy model).
+	ready bool
+	pod   *node.Pod
+
 	// Fault-injection state. down marks a crashed pod: it accepts no
 	// new work, and responses of visits admitted before the crash are
 	// lost (epoch mismatch at finish). degrade, when in (0,1), scales
@@ -266,6 +323,7 @@ func newInstance(s *Service, id string) *Instance {
 		queueCap:  s.spec.QueueCap,
 		db:        pool{cap: s.spec.DBPool},
 		client:    make(map[string]*pool, len(s.spec.ClientPools)),
+		ready:     true, // control-plane launch flips this off until the cold start completes
 	}
 	for target, size := range s.spec.ClientPools {
 		in.client[target] = &pool{cap: size}
@@ -287,6 +345,14 @@ func (in *Instance) QueueLen() int { return len(in.queue) }
 
 // Draining reports whether the pod is being decommissioned.
 func (in *Instance) Draining() bool { return in.draining }
+
+// Ready reports whether the pod may serve traffic (always true without
+// a control plane; false while a control-plane pod cold-starts).
+func (in *Instance) Ready() bool { return in.ready }
+
+// Pod returns the control-plane fleet record backing this instance
+// (nil in the legacy instant-placement model).
+func (in *Instance) Pod() *node.Pod { return in.pod }
 
 func (in *Instance) idle() bool {
 	return in.active == 0 && len(in.queue) == 0
@@ -314,11 +380,25 @@ func (in *Instance) Crash() {
 	for _, v := range q {
 		v.refuse()
 	}
+	if cp := in.svc.c.cp; cp != nil {
+		// Readiness-probe failure: the crashed pod leaves the endpoint
+		// view one propagation lag later; until then the balancer keeps
+		// routing to it and requests are refused.
+		cp.noteChange(in.svc)
+	}
 }
 
 // Restore brings a crashed pod back into service with empty queues and
 // a fresh epoch (already bumped by Crash).
-func (in *Instance) Restore() { in.down = false }
+func (in *Instance) Restore() {
+	if !in.down {
+		return
+	}
+	in.down = false
+	if cp := in.svc.c.cp; cp != nil {
+		cp.noteChange(in.svc)
+	}
+}
 
 // Down reports whether the pod is crashed.
 func (in *Instance) Down() bool { return in.down }
@@ -348,9 +428,11 @@ func (in *Instance) applyCores() {
 	in.cpu.SetCores(cores)
 }
 
-// enqueue either admits the visit or queues it for a thread slot.
+// enqueue either admits the visit or queues it for a thread slot. Down
+// pods refuse; so do pods still cold-starting (a stale endpoint view
+// routed the request before the pod was ready).
 func (in *Instance) enqueue(v *visit) {
-	if in.down {
+	if in.down || !in.ready {
 		v.refuse()
 		return
 	}

@@ -83,14 +83,16 @@ type WindowDelta struct {
 }
 
 // ServiceDivergence summarizes where a service's runtime knobs
-// (replica count, pool size) differ between the two runs.
+// (replica count, pool size, replica placement) differ between the
+// two runs.
 type ServiceDivergence struct {
-	Service         string `json:"service"`
-	Windows         int    `json:"windows"`
-	FirstReplicaTUs int64  `json:"first_replica_t_us"` // -1: never diverged
-	FirstPoolTUs    int64  `json:"first_pool_t_us"`
-	MaxReplicaDelta int64  `json:"max_replica_delta"` // B - A at peak |delta|
-	MaxPoolDelta    int64  `json:"max_pool_delta"`
+	Service           string `json:"service"`
+	Windows           int    `json:"windows"`
+	FirstReplicaTUs   int64  `json:"first_replica_t_us"` // -1: never diverged
+	FirstPoolTUs      int64  `json:"first_pool_t_us"`
+	FirstPlacementTUs int64  `json:"first_placement_t_us"` // first window whose pod→node assignment differs
+	MaxReplicaDelta   int64  `json:"max_replica_delta"`    // B - A at peak |delta|
+	MaxPoolDelta      int64  `json:"max_pool_delta"`
 }
 
 // PhaseDelta is one row of the phase-blame diff: total blamed
@@ -231,7 +233,7 @@ func serviceDivergence(a, b *Unit) []ServiceDivergence {
 		for _, w := range rowsB {
 			byT[w.TUs] = w
 		}
-		d := ServiceDivergence{Service: svc, FirstReplicaTUs: -1, FirstPoolTUs: -1}
+		d := ServiceDivergence{Service: svc, FirstReplicaTUs: -1, FirstPoolTUs: -1, FirstPlacementTUs: -1}
 		for _, wa := range rowsA {
 			wb, ok := byT[wa.TUs]
 			if !ok {
@@ -253,6 +255,9 @@ func serviceDivergence(a, b *Unit) []ServiceDivergence {
 				if abs64(dp) > abs64(d.MaxPoolDelta) {
 					d.MaxPoolDelta = dp
 				}
+			}
+			if wa.Placement != wb.Placement && d.FirstPlacementTUs < 0 {
+				d.FirstPlacementTUs = wa.TUs
 			}
 		}
 		out = append(out, d)

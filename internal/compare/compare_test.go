@@ -14,24 +14,24 @@ import (
 // seed: identical until t=15s, then B scales its pool where A holds,
 // B's p99 drops and its decision stream diverges at index 1.
 const timelineA = `{"t_us":0,"unit":"runA","kind":"run.manifest","id":"runA","tool":"simrun","seed":7,"strategy":"sora"}
-{"t_us":5000000,"unit":"runA","kind":"timeline.window","service":"cart","p50_ms":4,"p95_ms":9,"p99_ms":12.5,"arrivals":50,"completions":48,"drops":0,"queue":1,"conc":2,"replicas":2,"pool":"cart-threads","pool_size":8,"pool_used":5,"util":0.6}
+{"t_us":5000000,"unit":"runA","kind":"timeline.window","service":"cart","p50_ms":4,"p95_ms":9,"p99_ms":12.5,"arrivals":50,"completions":48,"drops":0,"queue":1,"conc":2,"replicas":2,"pool":"cart-threads","pool_size":8,"pool_used":5,"util":0.6,"placement":"cart-0@node-0,cart-1@node-1"}
 {"t_us":5000000,"unit":"runA","kind":"timeline.cluster","win_s":5,"p50_ms":5,"p95_ms":10,"p99_ms":14,"span_p99_ms":9,"good":40,"degraded":5,"violated":3,"completed":48,"dropped":0,"failed":0,"refused":0,"retries":0,"rejected":0,"timedout":0,"lost":0,"inflight":2,"breakers_open":0}
 {"t_us":10000000,"unit":"runA","kind":"controller.decision","resource":"cart-threads","reason":"knee","applied":true,"current":8,"to":8,"knee_x":7.5}
-{"t_us":10000000,"unit":"runA","kind":"timeline.window","service":"cart","p50_ms":5,"p95_ms":11,"p99_ms":15,"arrivals":52,"completions":50,"drops":0,"queue":2,"conc":3,"replicas":2,"pool":"cart-threads","pool_size":8,"pool_used":7,"util":0.8}
+{"t_us":10000000,"unit":"runA","kind":"timeline.window","service":"cart","p50_ms":5,"p95_ms":11,"p99_ms":15,"arrivals":52,"completions":50,"drops":0,"queue":2,"conc":3,"replicas":2,"pool":"cart-threads","pool_size":8,"pool_used":7,"util":0.8,"placement":"cart-0@node-0,cart-1@node-1"}
 {"t_us":10000000,"unit":"runA","kind":"timeline.cluster","win_s":5,"p50_ms":6,"p95_ms":12,"p99_ms":16,"span_p99_ms":10,"good":38,"degraded":8,"violated":4,"completed":50,"dropped":0,"failed":0,"refused":0,"retries":0,"rejected":0,"timedout":0,"lost":0,"inflight":3,"breakers_open":0}
 {"t_us":15000000,"unit":"runA","kind":"controller.decision","resource":"cart-threads","reason":"knee","applied":false,"current":8,"to":8,"knee_x":7.9}
-{"t_us":15000000,"unit":"runA","kind":"timeline.window","service":"cart","p50_ms":6,"p95_ms":13,"p99_ms":20,"arrivals":55,"completions":51,"drops":1,"queue":4,"conc":4,"replicas":2,"pool":"cart-threads","pool_size":8,"pool_used":8,"util":0.95}
+{"t_us":15000000,"unit":"runA","kind":"timeline.window","service":"cart","p50_ms":6,"p95_ms":13,"p99_ms":20,"arrivals":55,"completions":51,"drops":1,"queue":4,"conc":4,"replicas":2,"pool":"cart-threads","pool_size":8,"pool_used":8,"util":0.95,"placement":"cart-0@node-0,cart-1@node-1"}
 {"t_us":15000000,"unit":"runA","kind":"timeline.cluster","win_s":5,"p50_ms":7,"p95_ms":14,"p99_ms":22,"span_p99_ms":12,"good":30,"degraded":12,"violated":9,"completed":51,"dropped":1,"failed":0,"refused":0,"retries":0,"rejected":0,"timedout":0,"lost":0,"inflight":4,"breakers_open":0}
 `
 
 const timelineB = `{"t_us":0,"unit":"runB","kind":"run.manifest","id":"runB","tool":"simrun","seed":7,"strategy":"sora"}
-{"t_us":5000000,"unit":"runB","kind":"timeline.window","service":"cart","p50_ms":4,"p95_ms":9,"p99_ms":12.5,"arrivals":50,"completions":48,"drops":0,"queue":1,"conc":2,"replicas":2,"pool":"cart-threads","pool_size":8,"pool_used":5,"util":0.6}
+{"t_us":5000000,"unit":"runB","kind":"timeline.window","service":"cart","p50_ms":4,"p95_ms":9,"p99_ms":12.5,"arrivals":50,"completions":48,"drops":0,"queue":1,"conc":2,"replicas":2,"pool":"cart-threads","pool_size":8,"pool_used":5,"util":0.6,"placement":"cart-0@node-0,cart-1@node-1"}
 {"t_us":5000000,"unit":"runB","kind":"timeline.cluster","win_s":5,"p50_ms":5,"p95_ms":10,"p99_ms":14,"span_p99_ms":9,"good":40,"degraded":5,"violated":3,"completed":48,"dropped":0,"failed":0,"refused":0,"retries":0,"rejected":0,"timedout":0,"lost":0,"inflight":2,"breakers_open":0}
 {"t_us":10000000,"unit":"runB","kind":"controller.decision","resource":"cart-threads","reason":"knee","applied":true,"current":8,"to":8,"knee_x":7.5}
-{"t_us":10000000,"unit":"runB","kind":"timeline.window","service":"cart","p50_ms":5,"p95_ms":11,"p99_ms":15,"arrivals":52,"completions":50,"drops":0,"queue":2,"conc":3,"replicas":2,"pool":"cart-threads","pool_size":8,"pool_used":7,"util":0.8}
+{"t_us":10000000,"unit":"runB","kind":"timeline.window","service":"cart","p50_ms":5,"p95_ms":11,"p99_ms":15,"arrivals":52,"completions":50,"drops":0,"queue":2,"conc":3,"replicas":2,"pool":"cart-threads","pool_size":8,"pool_used":7,"util":0.8,"placement":"cart-0@node-0,cart-1@node-1"}
 {"t_us":10000000,"unit":"runB","kind":"timeline.cluster","win_s":5,"p50_ms":6,"p95_ms":12,"p99_ms":16,"span_p99_ms":10,"good":38,"degraded":8,"violated":4,"completed":50,"dropped":0,"failed":0,"refused":0,"retries":0,"rejected":0,"timedout":0,"lost":0,"inflight":3,"breakers_open":0}
 {"t_us":15000000,"unit":"runB","kind":"controller.decision","resource":"cart-threads","reason":"knee","applied":true,"current":8,"to":12,"knee_x":11.2}
-{"t_us":15000000,"unit":"runB","kind":"timeline.window","service":"cart","p50_ms":5,"p95_ms":11,"p99_ms":16,"arrivals":55,"completions":54,"drops":0,"queue":1,"conc":3,"replicas":2,"pool":"cart-threads","pool_size":12,"pool_used":9,"util":0.7}
+{"t_us":15000000,"unit":"runB","kind":"timeline.window","service":"cart","p50_ms":5,"p95_ms":11,"p99_ms":16,"arrivals":55,"completions":54,"drops":0,"queue":1,"conc":3,"replicas":2,"pool":"cart-threads","pool_size":12,"pool_used":9,"util":0.7,"placement":"cart-0@node-0,cart-1@node-2"}
 {"t_us":15000000,"unit":"runB","kind":"timeline.cluster","win_s":5,"p50_ms":6,"p95_ms":12,"p99_ms":17,"span_p99_ms":10,"good":44,"degraded":7,"violated":3,"completed":54,"dropped":0,"failed":0,"refused":0,"retries":0,"rejected":0,"timedout":0,"lost":0,"inflight":3,"breakers_open":0}
 `
 
@@ -110,6 +110,10 @@ func TestCompareDeltas(t *testing.T) {
 	if svc.Service != "cart" || svc.FirstPoolTUs != 15000000 || svc.MaxPoolDelta != 4 || svc.FirstReplicaTUs != -1 {
 		t.Fatalf("cart divergence = %+v", svc)
 	}
+	// B reassigns cart-1 to node-2 in the same window it grows the pool.
+	if svc.FirstPlacementTUs != 15000000 {
+		t.Fatalf("cart placement divergence at t=%d, want 15000000", svc.FirstPlacementTUs)
+	}
 	// Decision streams agree at index 0, diverge at index 1.
 	d := res.Divergence
 	if d == nil || d.Index != 1 || d.TUsA != 15000000 || d.TUsB != 15000000 {
@@ -128,6 +132,10 @@ func TestCompareIdenticalRuns(t *testing.T) {
 		if wd.P99A != wd.P99B || wd.GoodA != wd.GoodB {
 			t.Fatalf("identical runs produced a nonzero window delta: %+v", wd)
 		}
+	}
+	svc := res.Services[0]
+	if svc.FirstReplicaTUs != -1 || svc.FirstPoolTUs != -1 || svc.FirstPlacementTUs != -1 {
+		t.Fatalf("identical runs reported knob divergence: %+v", svc)
 	}
 }
 

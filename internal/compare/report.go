@@ -97,11 +97,11 @@ func WriteText(w io.Writer, r *Result) error {
 
 	if len(r.Services) > 0 {
 		p("service knob divergence (first window where B differs from A):\n")
-		p("  %-16s %8s %14s %14s %9s %9s\n", "service", "windows", "replicas", "pool", "max dRepl", "max dPool")
+		p("  %-16s %8s %14s %14s %14s %9s %9s\n", "service", "windows", "replicas", "pool", "placement", "max dRepl", "max dPool")
 		for _, s := range r.Services {
-			p("  %-16s %8d %14s %14s %+9d %+9d\n",
+			p("  %-16s %8d %14s %14s %14s %+9d %+9d\n",
 				s.Service, s.Windows, divAt(s.FirstReplicaTUs), divAt(s.FirstPoolTUs),
-				s.MaxReplicaDelta, s.MaxPoolDelta)
+				divAt(s.FirstPlacementTUs), s.MaxReplicaDelta, s.MaxPoolDelta)
 		}
 		p("\n")
 	}

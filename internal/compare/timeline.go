@@ -58,6 +58,7 @@ type SvcWindow struct {
 	Pool               string
 	PoolSize, PoolUsed int64
 	Util               float64
+	Placement          string // pod→node assignment ("" on legacy runs)
 }
 
 // Decision is one controller.decision audit event with its attributes
@@ -227,7 +228,7 @@ func ParseTimeline(path, raw string) (*Run, error) {
 				Drops: ev.i64("drops"), Queue: ev.i64("queue"), Conc: ev.i64("conc"),
 				Replicas: ev.i64("replicas"), Pool: ev.attr("pool"),
 				PoolSize: ev.i64("pool_size"), PoolUsed: ev.i64("pool_used"),
-				Util: ev.num("util"),
+				Util: ev.num("util"), Placement: ev.attr("placement"),
 			})
 		case "controller.decision":
 			u.Decisions = append(u.Decisions, Decision{TUs: ev.tUs, Attrs: ev.attrs})

@@ -23,14 +23,20 @@ type BaselineSample struct {
 
 // baselineScenarios pins the suite composition. Order is the report
 // order; adding a scenario means regenerating BASELINE.json
-// (sorabench -baseline BASELINE.json -baseline-update).
+// (sorabench -baseline BASELINE.json -baseline-update). Entries with
+// ctrl set run the control-plane unit (node chaos on the multi-node
+// fleet, app names a cpProfile) instead of the chaos unit, so a
+// regression in the scheduler, cold-start, or endpoint-propagation
+// machinery trips the sentinel too.
 var baselineScenarios = []struct {
-	app   string
+	app   string // chaos app, or control-plane profile name when ctrl
 	strat chaosStrategy
+	ctrl  bool
 }{
-	{"sockshop", chaosSora},
-	{"sockshop", chaosAuto},
-	{"socialnet", chaosSora},
+	{app: "sockshop", strat: chaosSora},
+	{app: "sockshop", strat: chaosAuto},
+	{app: "socialnet", strat: chaosSora},
+	{app: "fast", strat: chaosSora, ctrl: true},
 }
 
 // RunBaselineSuite replays the pinned scenarios and returns their
@@ -52,6 +58,17 @@ func RunBaselineSuite(parallelism int) ([]BaselineSample, error) {
 	dur := p.scale(3 * time.Minute)
 	results, err := parMap(p, len(baselineScenarios), func(i int) (*chaosResult, error) {
 		sc := baselineScenarios[i]
+		if sc.ctrl {
+			prof, ok := cpProfileByName(sc.app)
+			if !ok {
+				return nil, fmt.Errorf("baseline: unknown control-plane profile %q", sc.app)
+			}
+			res, rerr := runCtrlPlaneUnit(p, prof, sc.strat, dur)
+			if rerr != nil {
+				return nil, fmt.Errorf("baseline ctrlplane %s/%v: %w", sc.app, sc.strat, rerr)
+			}
+			return res, nil
+		}
 		res, rerr := runChaosUnit(p, sc.app, sc.strat, "combo", dur)
 		if rerr != nil {
 			return nil, fmt.Errorf("baseline %s/%v: %w", sc.app, sc.strat, rerr)
@@ -62,12 +79,26 @@ func RunBaselineSuite(parallelism int) ([]BaselineSample, error) {
 		return nil, err
 	}
 	var out []BaselineSample
-	for _, res := range results {
-		prefix := "chaos/" + res.app + "_" + sanitize(res.strategy.String()) + "/"
+	for i, res := range results {
+		group := "chaos/"
+		if baselineScenarios[i].ctrl {
+			group = "ctrlplane/"
+		}
+		prefix := group + res.app + "_" + sanitize(res.strategy.String()) + "/"
 		out = append(out,
 			BaselineSample{Name: prefix + "good_frac", Value: res.goodFrac},
 			BaselineSample{Name: prefix + "p99_ms", Value: res.p99.Seconds() * 1000},
 		)
 	}
 	return out, nil
+}
+
+// cpProfileByName resolves one of the ctrlplane sweep's profiles.
+func cpProfileByName(name string) (cpProfile, bool) {
+	for _, prof := range ctrlPlaneProfiles {
+		if prof.name == name {
+			return prof, true
+		}
+	}
+	return cpProfile{}, false
 }

@@ -32,4 +32,16 @@ func TestBaselineSuiteDeterministic(t *testing.T) {
 			t.Fatalf("negative metric %+v", s)
 		}
 	}
+	// The suite must include the pinned node-chaos scenario, so control
+	// plane regressions (scheduler, cold start, endpoint propagation)
+	// move a checked metric.
+	found := false
+	for _, s := range serial {
+		if s.Name == "ctrlplane/fast_Sora/good_frac" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("suite carries no ctrlplane scenario sample")
+	}
 }

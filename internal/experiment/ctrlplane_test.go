@@ -1,0 +1,65 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"sora/internal/telemetry"
+)
+
+// TestCtrlPlaneArtifactEquivalence is the control-plane determinism
+// guardrail: a seeded ctrlplane run — node crashes, endpoint stalls,
+// cold-start rescheduling, p2c balancing and all — must produce
+// byte-identical stdout and telemetry artifacts whether the six
+// (profile, strategy) units run on one worker or four.
+func TestCtrlPlaneArtifactEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ctrlplane equivalence runs twelve minimum-length simulations; skipped in -short")
+	}
+	run := func(parallelism int) string {
+		rec := telemetry.NewRecorder("ctrlplane-test")
+		p := Params{
+			Seed: 5, DurationScale: 0.001, Quiet: true,
+			Parallelism: parallelism, Telemetry: rec, Timeline: time.Second,
+		}
+		var sb strings.Builder
+		if err := RunCtrlPlane(p, &sb); err != nil {
+			t.Fatalf("parallelism=%d: %v", parallelism, err)
+		}
+		sb.WriteString("\n--- artifacts ---\n")
+		sb.WriteString(renderArtifacts(t, rec))
+		var tl strings.Builder
+		if err := rec.WriteTimeline(&tl); err != nil {
+			t.Fatal(err)
+		}
+		sb.WriteString("\n--- timeline ---\n")
+		sb.WriteString(tl.String())
+		return sb.String()
+	}
+	serial := run(1)
+	parallel := run(4)
+	if serial != parallel {
+		a, b := diffLine(serial, parallel)
+		t.Fatalf("ctrlplane output/artifacts differ between serial and parallel runs:\nserial:   %s\nparallel: %s", a, b)
+	}
+	// The artifacts must exercise the whole control-plane event surface,
+	// not just agree on silence.
+	for _, kind := range []string{
+		"node.schedule", "node.ready", "node.crash", "node.drain",
+		"endpoints.update", "fault.inject", "fault.recover",
+	} {
+		if !strings.Contains(serial, kind) {
+			t.Errorf("ctrlplane artifacts carry no %s event", kind)
+		}
+	}
+	// Timeline windows must carry the pod→node placement soradiff keys on.
+	if !strings.Contains(serial, `"placement"`) {
+		t.Error("timeline windows carry no placement attribute")
+	}
+	for _, unit := range []string{"fast_static", "fast_Sora", "slow_autoscaler"} {
+		if !strings.Contains(serial, unit) {
+			t.Errorf("artifacts missing unit path %s", unit)
+		}
+	}
+}

@@ -11,7 +11,8 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{
-		"ablation-deadline", "ablation-degree", "ablation-localize", "ablation-model", "chaos", "ext-unified",
+		"ablation-deadline", "ablation-degree", "ablation-localize", "ablation-model", "chaos", "ctrlplane",
+		"ext-unified",
 		"fig1", "fig10", "fig11", "fig12", "fig3", "fig4", "fig7", "fig9",
 		"table1", "table2", "table3",
 	}

@@ -8,6 +8,7 @@ import (
 	"sora/internal/core"
 	"sora/internal/dist"
 	"sora/internal/metrics"
+	"sora/internal/node"
 	"sora/internal/profile"
 	"sora/internal/sim"
 	"sora/internal/telemetry"
@@ -74,6 +75,12 @@ type rigConfig struct {
 	// sub-recorder so parallel rigs never share a node.
 	tel *telemetry.Recorder
 
+	// ctrl, when non-nil, deploys the cluster on a simulated multi-node
+	// control plane: pods are bin-packed onto nodes, cold-start before
+	// serving, and endpoint changes reach the balancers after a lag
+	// (see internal/node). Nil keeps the legacy instant-pod model.
+	ctrl *node.Config
+
 	// prof, when non-nil, receives every completed trace for latency
 	// attribution. One order-independent aggregator is shared across all
 	// rigs of an experiment (see Params.Profile).
@@ -87,7 +94,7 @@ type rigConfig struct {
 
 func newRig(cfg rigConfig) (*rig, error) {
 	k := sim.NewKernel(cfg.seed)
-	c, err := cluster.New(k, cfg.app, cluster.Options{Telemetry: cfg.tel})
+	c, err := cluster.New(k, cfg.app, cluster.Options{Telemetry: cfg.tel, ControlPlane: cfg.ctrl})
 	if err != nil {
 		return nil, err
 	}

@@ -45,6 +45,20 @@ const (
 	// restoring the previous size on recovery unless a controller
 	// re-tuned the pool during the window.
 	KindPoolClamp
+	// KindNodeCrash fails one whole node of the control plane: every
+	// resident pod dies at once and replacements must reschedule and
+	// cold-start on the survivors. Recovery brings the node back empty.
+	// Requires a cluster built with Options.ControlPlane.
+	KindNodeCrash
+	// KindNodeDrain cordons one node and evicts its pods gracefully:
+	// replacements start elsewhere before the evicted pods exit.
+	// Recovery uncordons the node. Requires a control plane.
+	KindNodeDrain
+	// KindEndpointStall freezes endpoint propagation cluster-wide:
+	// membership changes (crashes, scale-ups) stop reaching the load
+	// balancers until recovery flushes them in one batch. Requires a
+	// control plane.
+	KindEndpointStall
 )
 
 // String returns the kind's canonical name.
@@ -58,6 +72,12 @@ func (k Kind) String() string {
 		return "lossy-edge"
 	case KindPoolClamp:
 		return "pool-clamp"
+	case KindNodeCrash:
+		return "node-crash"
+	case KindNodeDrain:
+		return "node-drain"
+	case KindEndpointStall:
+		return "endpoint-stall"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -91,6 +111,12 @@ type Fault struct {
 	// Ref and Size target KindPoolClamp.
 	Ref  cluster.ResourceRef
 	Size int
+
+	// Node selects the node of KindNodeCrash and KindNodeDrain: a
+	// non-negative index is taken modulo the eligible node count at
+	// injection time; a negative index draws from the injector's
+	// deterministic stream.
+	Node int
 }
 
 // validate checks one fault against the cluster.
@@ -129,6 +155,11 @@ func (f Fault) validate(c *cluster.Cluster) error {
 		}
 		_, err := c.PoolSize(f.Ref)
 		return err
+	case KindNodeCrash, KindNodeDrain, KindEndpointStall:
+		if c.ControlPlane() == nil {
+			return fmt.Errorf("fault: %s needs a cluster with a control plane (Options.ControlPlane)", f.Kind)
+		}
+		return nil
 	default:
 		return fmt.Errorf("fault: unknown kind %d", int(f.Kind))
 	}
@@ -141,6 +172,10 @@ func (f Fault) target() string {
 		return f.Caller + "->" + f.Callee
 	case KindPoolClamp:
 		return f.Ref.String()
+	case KindNodeCrash, KindNodeDrain:
+		return "node" // resolved to a concrete node at injection time
+	case KindEndpointStall:
+		return "endpoints"
 	default:
 		return f.Service
 	}
@@ -254,6 +289,32 @@ func (e *Engine) inject(idx int, f Fault) {
 				_ = e.c.SetPoolSize(f.Ref, prev)
 			}
 		}
+	case KindNodeCrash:
+		cp := e.c.ControlPlane()
+		n := e.pickNode(idx, f, false)
+		if n < 0 {
+			return // every node already unavailable
+		}
+		target = cp.Fleet().NodeName(n)
+		cp.CrashNode(n)
+		undo = func() { cp.RestoreNode(n) }
+	case KindNodeDrain:
+		cp := e.c.ControlPlane()
+		n := e.pickNode(idx, f, true)
+		if n < 0 {
+			return
+		}
+		target = cp.Fleet().NodeName(n)
+		cp.DrainNode(n)
+		undo = func() { cp.UncordonNode(n) }
+	case KindEndpointStall:
+		cp := e.c.ControlPlane()
+		if cp.Stalled() {
+			return // overlapping stalls would fight over the undo
+		}
+		target = f.target()
+		cp.SetEndpointStall(true)
+		undo = func() { cp.SetEndpointStall(false) }
 	}
 	win := Window{Fault: f, Target: target, Start: now}
 	if f.Duration > 0 {
@@ -291,6 +352,29 @@ func (e *Engine) pickPod(idx int, f Fault) *cluster.Instance {
 		return live[f.Pod%len(live)]
 	}
 	return live[e.k.Split(injectorLabel(idx)).IntN(len(live))]
+}
+
+// pickNode resolves the target node of a node-level fault at injection
+// time: up nodes only (and, for drains, not already cordoned), indexed
+// modulo the eligible count, or drawn from the injector's stream for
+// negative indices.
+func (e *Engine) pickNode(idx int, f Fault, drain bool) int {
+	cp := e.c.ControlPlane()
+	fl := cp.Fleet()
+	var eligible []int
+	for i := 0; i < cp.NodeCount(); i++ {
+		if fl.NodeDown(i) || (drain && fl.NodeCordoned(i)) {
+			continue
+		}
+		eligible = append(eligible, i)
+	}
+	if len(eligible) == 0 {
+		return -1
+	}
+	if f.Node >= 0 {
+		return eligible[f.Node%len(eligible)]
+	}
+	return eligible[e.k.Split(injectorLabel(idx)).IntN(len(eligible))]
 }
 
 // publish emits one fault lifecycle event.

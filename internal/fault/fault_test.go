@@ -6,6 +6,7 @@ import (
 
 	"sora/internal/cluster"
 	"sora/internal/dist"
+	"sora/internal/node"
 	"sora/internal/sim"
 	"sora/internal/telemetry"
 )
@@ -93,8 +94,12 @@ func TestNamedPlans(t *testing.T) {
 		EdgeCallee:   "backend",
 		ClampRef:     backendRef(),
 		ClampSize:    2,
+		NodeFaults:   true,
 	}
-	wantCount := map[string]int{"crash": 1, "slownode": 1, "lossy": 1, "clamp": 1, "combo": 4}
+	wantCount := map[string]int{
+		"crash": 1, "slownode": 1, "lossy": 1, "clamp": 1, "combo": 4,
+		"nodecrash": 1, "nodedrain": 1, "epstall": 2, "nodechaos": 4,
+	}
 	for _, name := range Names() {
 		p, err := NamedPlan(name, full, time.Minute)
 		if err != nil {
@@ -120,6 +125,9 @@ func TestNamedPlans(t *testing.T) {
 	}
 	if _, err := NamedPlan("lossy", partial, time.Minute); err == nil {
 		t.Error("lossy plan without edge targets accepted")
+	}
+	if _, err := NamedPlan("nodechaos", partial, time.Minute); err == nil {
+		t.Error("node plan without NodeFaults accepted")
 	}
 	if _, err := NamedPlan("nope", full, time.Minute); err == nil {
 		t.Error("unknown plan name accepted")
@@ -262,6 +270,200 @@ func TestPoolClampRespectsRetune(t *testing.T) {
 	}
 	if got := run(true); got != 13 {
 		t.Errorf("re-tuned pool ended at %d, want 13 (controller wins)", got)
+	}
+}
+
+// mustCPCluster builds a control-plane cluster for the node-fault
+// tests: fast cold starts so faults land on a settled deployment.
+func mustCPCluster(t *testing.T, k *sim.Kernel, app cluster.App, rec *telemetry.Recorder, nodes int) *cluster.Cluster {
+	t.Helper()
+	c, err := cluster.New(k, app, cluster.Options{Telemetry: rec, ControlPlane: &node.Config{
+		Nodes:       nodes,
+		NodeCores:   8,
+		Policy:      node.PolicySpread,
+		SchedDelay:  time.Millisecond,
+		PullDelay:   4 * time.Millisecond,
+		WarmDelay:   5 * time.Millisecond,
+		EndpointLag: 2 * time.Millisecond,
+		LB:          node.LBRoundRobin,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestNodeFaultsNeedControlPlane: node-level kinds are rejected against
+// a legacy cluster and accepted against a control-plane one.
+func TestNodeFaultsNeedControlPlane(t *testing.T) {
+	k := sim.NewKernel(1)
+	legacy := mustCluster(t, k, testApp(1), nil)
+	for _, kind := range []Kind{KindNodeCrash, KindNodeDrain, KindEndpointStall} {
+		p := Plan{Name: "t", Faults: []Fault{{Kind: kind, At: time.Second, Node: -1}}}
+		if err := p.Validate(legacy); err == nil {
+			t.Errorf("%s accepted without a control plane", kind)
+		}
+	}
+	cp := mustCPCluster(t, sim.NewKernel(1), testApp(1), nil, 3)
+	p := Plan{Name: "t", Faults: []Fault{
+		{Kind: KindNodeCrash, At: time.Second, Duration: time.Second, Node: -1},
+		{Kind: KindNodeDrain, At: 3 * time.Second, Duration: time.Second, Node: -1},
+		{Kind: KindEndpointStall, At: 5 * time.Second, Duration: time.Second},
+	}}
+	if err := p.Validate(cp); err != nil {
+		t.Errorf("node plan rejected on a control-plane cluster: %v", err)
+	}
+}
+
+// TestNodeCrashFault: the injector kills a whole node, the control
+// plane reschedules its pods elsewhere, and recovery restores the node.
+func TestNodeCrashFault(t *testing.T) {
+	k := sim.NewKernel(6)
+	rec := telemetry.NewRecorder("test")
+	c := mustCPCluster(t, k, testApp(2), rec, 2)
+	cp := c.ControlPlane()
+	eng, err := New(c, Plan{Name: "t", Faults: []Fault{
+		{Kind: KindNodeCrash, At: 50 * time.Millisecond, Duration: 100 * time.Millisecond, Node: 0},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Start()
+	k.RunUntil(sim.Time(60 * time.Millisecond))
+	downCount := 0
+	for i := 0; i < cp.NodeCount(); i++ {
+		if cp.Fleet().NodeDown(i) {
+			downCount++
+		}
+	}
+	if downCount != 1 {
+		t.Fatalf("%d nodes down during window, want 1", downCount)
+	}
+	k.Run()
+	for i := 0; i < cp.NodeCount(); i++ {
+		if cp.Fleet().NodeDown(i) {
+			t.Errorf("node %d still down after recovery", i)
+		}
+	}
+	// Every service fully re-placed after recovery.
+	for _, svcName := range []string{"frontend", "backend"} {
+		svc, _ := c.Service(svcName)
+		for _, in := range svc.Instances() {
+			if !in.Ready() || in.Down() {
+				t.Errorf("%s not serving after node recovery", in.ID())
+			}
+		}
+	}
+	wins := eng.Windows()
+	if len(wins) != 1 || wins[0].Target != "node-0" {
+		t.Fatalf("windows = %+v, want one node-0 window", wins)
+	}
+	var sawCrash, sawInject bool
+	for _, ev := range rec.Events() {
+		switch ev.Kind {
+		case "node.crash":
+			sawCrash = true
+		case "fault.inject":
+			sawInject = true
+		}
+	}
+	if !sawCrash || !sawInject {
+		t.Errorf("events: node.crash=%v fault.inject=%v, want both", sawCrash, sawInject)
+	}
+}
+
+// TestNodeDrainFault: drain cordons and empties the node; recovery
+// uncordons it.
+func TestNodeDrainFault(t *testing.T) {
+	k := sim.NewKernel(6)
+	c := mustCPCluster(t, k, testApp(1), nil, 2)
+	cp := c.ControlPlane()
+	eng, err := New(c, Plan{Name: "t", Faults: []Fault{
+		{Kind: KindNodeDrain, At: 50 * time.Millisecond, Duration: 100 * time.Millisecond, Node: 0},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Start()
+	k.RunUntil(sim.Time(100 * time.Millisecond))
+	if !cp.Fleet().NodeCordoned(0) {
+		t.Error("node-0 not cordoned during drain window")
+	}
+	if used, pods := cp.Fleet().NodeLoad(0); used != 0 || pods != 0 {
+		t.Errorf("node-0 still holds %g cores / %d pods mid-drain", used, pods)
+	}
+	k.Run()
+	if cp.Fleet().NodeCordoned(0) {
+		t.Error("node-0 still cordoned after recovery")
+	}
+}
+
+// TestEndpointStallFault: a pod crash inside the stall window stays
+// invisible to the balancers until recovery flushes the views.
+func TestEndpointStallFault(t *testing.T) {
+	k := sim.NewKernel(6)
+	c := mustCPCluster(t, k, testApp(2), nil, 2)
+	cp := c.ControlPlane()
+	eng, err := New(c, Plan{Name: "t", Faults: []Fault{
+		{Kind: KindEndpointStall, At: 50 * time.Millisecond, Duration: 100 * time.Millisecond},
+		{Kind: KindCrash, At: 70 * time.Millisecond, Duration: 200 * time.Millisecond, Service: "backend", Pod: 0},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Start()
+	k.RunUntil(sim.Time(60 * time.Millisecond))
+	if !cp.Stalled() {
+		t.Fatal("control plane not stalled during window")
+	}
+	svc, _ := c.Service("backend")
+	k.RunUntil(sim.Time(140 * time.Millisecond))
+	if got := len(svc.Endpoints()); got != 2 {
+		t.Fatalf("stalled view shrank to %d endpoints, want 2 (stale)", got)
+	}
+	k.RunUntil(sim.Time(200 * time.Millisecond))
+	if cp.Stalled() {
+		t.Error("still stalled after recovery")
+	}
+	if got := len(svc.Endpoints()); got != 1 {
+		t.Errorf("flushed view has %d endpoints, want 1 (crash applied)", got)
+	}
+	k.Run()
+}
+
+// TestNodePickDeterminism: negative node indices draw from the
+// injector's Split stream — same seed, same victim — and explicit
+// indices wrap modulo the eligible count.
+func TestNodePickDeterminism(t *testing.T) {
+	pick := func(seed uint64) string {
+		k := sim.NewKernel(seed)
+		c := mustCPCluster(t, k, testApp(2), nil, 4)
+		eng, err := New(c, Plan{Name: "t", Faults: []Fault{
+			{Kind: KindNodeCrash, At: 50 * time.Millisecond, Duration: 50 * time.Millisecond, Node: -1},
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng.Start()
+		k.Run()
+		return eng.Windows()[0].Target
+	}
+	if a, b := pick(9), pick(9); a != b {
+		t.Errorf("same seed crashed %q then %q", a, b)
+	}
+
+	k := sim.NewKernel(3)
+	c := mustCPCluster(t, k, testApp(1), nil, 3)
+	eng, err := New(c, Plan{Name: "t", Faults: []Fault{
+		{Kind: KindNodeCrash, At: 50 * time.Millisecond, Duration: 50 * time.Millisecond, Node: 7},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Start()
+	k.Run()
+	if got := eng.Windows()[0].Target; got != "node-1" {
+		t.Errorf("node 7 of 3 eligible = %q, want node-1", got)
 	}
 }
 

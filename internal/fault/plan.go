@@ -22,6 +22,10 @@ type Targets struct {
 	// ClampRef, when non-zero, is forced to ClampSize for its window.
 	ClampRef  cluster.ResourceRef
 	ClampSize int
+	// NodeFaults enables the node-level plans (nodecrash, nodedrain,
+	// epstall, nodechaos); the cluster must have a control plane. Node
+	// victims are always drawn from the injector's stream.
+	NodeFaults bool
 }
 
 // Named-plan fault parameters: injection times are fractions of the run
@@ -70,6 +74,12 @@ func NamedPlan(name string, t Targets, dur time.Duration) (Plan, error) {
 		}
 		return []Fault{{Kind: KindPoolClamp, At: at(start), Duration: at(length), Ref: t.ClampRef, Size: t.ClampSize}}
 	}
+	nodeFault := func(kind Kind, start, length float64) []Fault {
+		if !t.NodeFaults {
+			return nil
+		}
+		return []Fault{{Kind: kind, At: at(start), Duration: at(length), Node: -1}}
+	}
 
 	p := Plan{Name: name}
 	switch name {
@@ -86,6 +96,26 @@ func NamedPlan(name string, t Targets, dur time.Duration) (Plan, error) {
 		p.Faults = append(p.Faults, slow(0.40, 0.15)...)
 		p.Faults = append(p.Faults, lossy(0.65, 0.15)...)
 		p.Faults = append(p.Faults, clamp(0.80, 0.10)...)
+	case "nodecrash":
+		p.Faults = nodeFault(KindNodeCrash, 0.30, 0.20)
+	case "nodedrain":
+		p.Faults = nodeFault(KindNodeDrain, 0.30, 0.25)
+	case "epstall":
+		// A stall alone is invisible; pair it with a pod crash inside
+		// the stall window so the balancers keep routing to the corpse.
+		p.Faults = append(p.Faults, nodeFault(KindEndpointStall, 0.30, 0.25)...)
+		if t.NodeFaults {
+			p.Faults = append(p.Faults, crash(0.35, 0.15)...)
+		}
+	case "nodechaos":
+		// The full control-plane gauntlet: lose a node cold, stall
+		// propagation across a pod crash, then drain a second node.
+		p.Faults = append(p.Faults, nodeFault(KindNodeCrash, 0.20, 0.12)...)
+		p.Faults = append(p.Faults, nodeFault(KindEndpointStall, 0.45, 0.12)...)
+		if t.NodeFaults {
+			p.Faults = append(p.Faults, crash(0.48, 0.08)...)
+		}
+		p.Faults = append(p.Faults, nodeFault(KindNodeDrain, 0.70, 0.15)...)
 	default:
 		return Plan{}, fmt.Errorf("fault: unknown plan %q (have %v)", name, Names())
 	}
@@ -97,7 +127,7 @@ func NamedPlan(name string, t Targets, dur time.Duration) (Plan, error) {
 
 // Names lists the canned plans NamedPlan accepts, sorted.
 func Names() []string {
-	names := []string{"crash", "slownode", "lossy", "clamp", "combo"}
+	names := []string{"crash", "slownode", "lossy", "clamp", "combo", "nodecrash", "nodedrain", "epstall", "nodechaos"}
 	sort.Strings(names)
 	return names
 }

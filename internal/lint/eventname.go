@@ -20,8 +20,13 @@ var EventNames = []string{
 	"controller.decision",
 	"controller.error",
 	"controller.hardware",
+	"endpoints.update",
 	"fault.inject",
 	"fault.recover",
+	"node.crash",
+	"node.drain",
+	"node.ready",
+	"node.schedule",
 	"resilience.breaker",
 	"resilience.retry",
 	"run.manifest",

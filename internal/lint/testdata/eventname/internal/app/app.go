@@ -10,7 +10,9 @@ func Emit(tel *telemetry.Recorder, kind string) {
 	tel.Publish(0, "resilience.breaker")  // registered: clean
 	tel.Publish(0, "timeline.window")     // registered flight-recorder row: clean
 	tel.Publish(0, "run.manifest")        // registered run-identity record: clean
+	tel.Publish(0, "node.ready")          // registered control-plane event: clean
 	tel.Publish(0, "controller.decison")  // typo'd registry miss: a finding
+	tel.Publish(0, "endpoints.updat")     // typo'd control-plane event: a finding
 	tel.Publish(0, "fault.injekt")        // unregistered fault event: a finding
 	tel.Publish(0, "timeline.windoww")    // typo'd timeline row: a finding
 	tel.Publish(0, "run.manifes")         // typo'd manifest record: a finding
